@@ -1,0 +1,84 @@
+"""Ablation — §4.2's sampling mitigation for the heuristic passes.
+
+The paper: "entropy-based collection detection is surprisingly robust
+(even a 1% sample is often almost perfect)"; the exception is rare
+fields/keys, mopped up by iterative refinement.  This bench sweeps the
+heuristic sample fraction and reports the recall/runtime trade-off,
+plus the refinement loop's convergence behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_records, emit
+from repro.discovery import Jxplain, JxplainPipeline
+from repro.io.sampling import train_test_split
+from repro.jsontypes.types import type_of
+from repro.validation.refine import iterative_refinement
+from repro.validation.validator import recall_against
+
+FRACTIONS = (0.05, 0.25, 1.0)
+
+
+def test_ablation_heuristic_sampling(benchmark):
+    records = bench_records("synapse", seed=91)
+    split = train_test_split(records, seed=91)
+    test_types = [type_of(r) for r in split.test]
+
+    def sweep():
+        rows = {}
+        for fraction in FRACTIONS:
+            pipeline = JxplainPipeline(
+                heuristic_sample=fraction if fraction < 1.0 else None,
+                sample_seed=7,
+            )
+            start = time.perf_counter()
+            schema = pipeline.discover(split.train)
+            elapsed_ms = 1000.0 * (time.perf_counter() - start)
+            rows[fraction] = (
+                recall_against(schema, test_types),
+                elapsed_ms,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["synapse: heuristic-pass sampling (recall, runtime ms)"]
+    for fraction, (recall, elapsed_ms) in rows.items():
+        lines.append(
+            f"  sample={int(fraction * 100):3d}%  recall={recall:.4f}  "
+            f"t={elapsed_ms:8.1f}ms"
+        )
+    emit("ablation_sampling", "\n".join(lines))
+
+    full_recall = rows[1.0][0]
+    # The paper's robustness claim: a heavily sampled heuristic pass
+    # loses little recall.
+    assert rows[0.25][0] >= full_recall - 0.1
+    assert rows[0.05][0] >= full_recall - 0.25
+
+
+def test_ablation_iterative_refinement(benchmark):
+    """The sample→validate→augment loop converges with a sample far
+    smaller than the data (§4.2)."""
+    records = bench_records("yelp-business", seed=92)
+
+    def run():
+        return iterative_refinement(
+            Jxplain(), records, initial_fraction=0.05, seed=3
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["yelp-business: iterative refinement rounds"]
+    for round_ in result.rounds:
+        lines.append(
+            f"  round {round_.round_index}: sample={round_.sample_size:4d} "
+            f"failures={round_.failures:4d} "
+            f"recall_on_rest={round_.recall_on_rest:.4f}"
+        )
+    emit("ablation_refinement", "\n".join(lines))
+
+    assert result.converged
+    assert result.final_sample_size < 0.8 * len(records)

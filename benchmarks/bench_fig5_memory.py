@@ -1,0 +1,66 @@
+"""Figure 5 — Feature-vector memory: encodings and pruning.
+
+Measures the estimated memory of the entity-discovery preprocessing
+under four regimes: sparse / dense, each with and without the
+nested-collection path-pruning optimisation of §6.4.  Expected shape:
+
+* on Yelp, pruning shrinks the feature store substantially (the
+  checkin pivot multiplies distinct vectors otherwise);
+* on Pharma, *nearly all* structural complexity lives inside the
+  collection, so pruning reduces the requirement to almost nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_records, emit
+from repro.discovery import JxplainConfig
+from repro.discovery.stat_tree import (
+    StatTree,
+    collection_paths,
+    decide_collections,
+)
+from repro.entities.features import feature_memory_profile
+from repro.jsontypes.types import type_of
+
+
+def _profile(dataset: str):
+    records = bench_records(dataset, seed=61)
+    types = [type_of(r) for r in records]
+    tree = StatTree.from_types(types)
+    decisions = decide_collections(tree, JxplainConfig())
+    return feature_memory_profile(types, collection_paths(decisions))
+
+
+@pytest.mark.parametrize("dataset", ["yelp-merged", "yelp-checkin", "pharma"])
+def test_fig5_memory(benchmark, dataset):
+    profile = benchmark.pedantic(
+        _profile, args=(dataset,), rounds=1, iterations=1
+    )
+    lines = [f"[{dataset}] feature-vector memory (bytes)"]
+    for label, size in profile.rows():
+        lines.append(f"  {label:16s} {size:>12,d}")
+    lines.append(
+        f"  distinct vectors: {profile.distinct_vectors} -> "
+        f"{profile.pruned_distinct_vectors} after pruning"
+    )
+    emit(f"fig5_memory_{dataset}", "\n".join(lines))
+
+    assert profile.pruned_sparse_bytes <= profile.sparse_bytes
+    assert profile.pruned_distinct_vectors <= profile.distinct_vectors
+
+
+def test_fig5_pharma_pruning_dominates(benchmark):
+    """Pharma's complexity is almost entirely the drug collection:
+    pruning removes nearly everything."""
+    profile = _profile("pharma")
+    assert profile.pruned_sparse_bytes < 0.1 * profile.sparse_bytes
+    assert profile.pruned_distinct_vectors <= 3
+
+
+def test_fig5_yelp_pruning_substantial(benchmark):
+    """On the Yelp pivot table, pruning collapses the distinct-vector
+    blow-up caused by the nested checkin collection."""
+    profile = _profile("yelp-checkin")
+    assert profile.pruned_distinct_vectors < 0.1 * profile.distinct_vectors

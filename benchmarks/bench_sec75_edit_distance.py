@@ -1,0 +1,81 @@
+"""§7.5 — Greedy upper bound on schema edits to reach 100% recall.
+
+Trains each extractor on a small sample and counts the edits the
+greedy repair needs to make the schema accept every remaining record.
+Expected shape (§7.5):
+
+* Bimax-Merge needs (far) fewer edits on collection-like datasets
+  (Pharma, Synapse): new keys inside a detected collection are free,
+  while K-reduce pays one edit per new key;
+* on datasets with rare shared attributes across entities, the gap
+  narrows or reverses — Bimax-Merge must see the attribute once per
+  entity, K-reduce once overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import bench_records, emit
+from repro.discovery import Jxplain, KReduce
+from repro.io.sampling import uniform_sample
+from repro.jsontypes.types import type_of
+from repro.validation.edits import edits_to_full_recall
+
+DATASETS = ("pharma", "synapse", "github", "yelp-merged", "nyt")
+
+#: Training fraction for the edit experiment (the paper uses 1% of
+#: much larger corpora; 5% of the bench-scale data is comparable).
+TRAIN_FRACTION = 0.05
+
+
+def _edits(dataset: str) -> Dict[str, int]:
+    records = bench_records(dataset, seed=71)
+    sample = uniform_sample(records, TRAIN_FRACTION, seed=5)
+    rest_types = [type_of(r) for r in records if r not in sample]
+    counts = {}
+    for discoverer in (KReduce(), Jxplain()):
+        schema = discoverer.discover(sample)
+        report = edits_to_full_recall(schema, rest_types)
+        counts[discoverer.name] = report.edit_count
+        # The repaired schema must actually reach 100% recall.
+        for tau in rest_types:
+            assert report.schema.admits_type(tau)
+    return counts
+
+
+def test_sec75_edit_counts(benchmark):
+    results = benchmark.pedantic(
+        lambda: {dataset: _edits(dataset) for dataset in DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["edits to 100% recall (greedy upper bound, 5% training)"]
+    lines.append(f"{'dataset':14s} {'k-reduce':>10s} {'bimax-merge':>12s}")
+    for dataset, counts in results.items():
+        lines.append(
+            f"{dataset:14s} {counts['k-reduce']:>10d} "
+            f"{counts['bimax-merge']:>12d}"
+        )
+    emit("sec75_edit_distance", "\n".join(lines))
+
+    # Collection-heavy datasets: Bimax-Merge needs far fewer edits.
+    for dataset in ("pharma", "synapse"):
+        assert (
+            results[dataset]["bimax-merge"]
+            < results[dataset]["k-reduce"]
+        ), dataset
+
+
+@pytest.mark.parametrize("dataset", ["pharma"])
+def test_sec75_repair_throughput(benchmark, dataset):
+    """Micro-benchmark: repairing one rejected record."""
+    records = bench_records(dataset, seed=72)
+    schema = KReduce().discover(records[:20])
+    target = type_of(records[-1])
+
+    from repro.validation.edits import repair_schema
+
+    benchmark(lambda: repair_schema(schema, target))

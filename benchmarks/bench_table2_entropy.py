@@ -1,0 +1,76 @@
+"""Table 2 — Schema entropy: log2 number of types admitted.
+
+Same sweep as Table 1, reporting the precision proxy.  Expected shape
+(§7.2):
+
+* L-reduce is the lower bound everywhere (it admits only what it saw);
+* Bimax variants sit at or below K-reduce wherever entities or
+  collections exist (GitHub, Twitter, NYT, Yelp-Merged, Synapse);
+* on a collection of primitives (Pharma) the decision-counting
+  convention makes all extractors score identically — exactly as the
+  paper's Pharma rows are identical across columns;
+* on single-entity, collection-free tables (Yelp-Photos) JXPLAIN's
+  output is identical to K-reduce's;
+* entropy is stable across sample sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SWEEP_DATASETS, emit
+from repro.metrics.recall import format_sweep_table
+from repro.schema.entropy import schema_entropy
+
+
+@pytest.mark.parametrize("dataset", SWEEP_DATASETS)
+def test_table2_entropy(benchmark, sweep_cache, dataset):
+    sweep = sweep_cache.sweep(dataset)
+    emit(
+        f"table2_entropy_{dataset}",
+        format_sweep_table(sweep, "entropy", precision=2),
+    )
+    # Benchmark the entropy computation itself on the largest schema.
+    from repro.discovery import Jxplain
+    from benchmarks.conftest import bench_records
+
+    schema = Jxplain().discover(bench_records(dataset))
+    benchmark.pedantic(schema_entropy, args=(schema,), rounds=3, iterations=1)
+
+    largest = max(sweep.fractions())
+    lreduce = sweep.cell("l-reduce", largest, "entropy").mean
+    kreduce = sweep.cell("k-reduce", largest, "entropy").mean
+    bimax = sweep.cell("bimax-merge", largest, "entropy").mean
+    assert lreduce <= kreduce + 1e-6
+    assert lreduce <= bimax + 1e-6
+
+
+def test_table2_precision_shape(benchmark, sweep_cache):
+    """Claim (i): JXPLAIN is significantly more precise than K-reduce
+    on multi-entity and collection-heavy datasets."""
+    largest = max(BENCH := sweep_cache.sweep("github").fractions())
+    for dataset in ("github", "twitter", "nyt", "yelp-merged", "synapse"):
+        sweep = sweep_cache.sweep(dataset)
+        bimax = sweep.cell("bimax-merge", largest, "entropy").mean
+        kreduce = sweep.cell("k-reduce", largest, "entropy").mean
+        assert bimax < kreduce, dataset
+
+
+def test_table2_identical_on_clean_single_entity(benchmark, sweep_cache):
+    """On Yelp-Photos (one clean entity) JXPLAIN output equals
+    K-reduce's, as the paper notes."""
+    sweep = sweep_cache.sweep("yelp-photos")
+    for fraction in sweep.fractions():
+        bimax = sweep.cell("bimax-merge", fraction, "entropy").mean
+        kreduce = sweep.cell("k-reduce", fraction, "entropy").mean
+        assert bimax == pytest.approx(kreduce, abs=1e-9)
+
+
+def test_table2_stability_across_samples(benchmark, sweep_cache):
+    """Entropy is stable across sample sizes (the paper's closing
+    observation for Table 2)."""
+    sweep = sweep_cache.sweep("yelp-merged")
+    fractions = sweep.fractions()
+    at_10 = sweep.cell("bimax-merge", 0.10, "entropy").mean
+    at_90 = sweep.cell("bimax-merge", 0.90, "entropy").mean
+    assert at_10 == pytest.approx(at_90, rel=0.25)

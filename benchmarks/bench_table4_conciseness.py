@@ -1,0 +1,85 @@
+"""Table 4 — Entity predictions with 90% training data.
+
+Counts the root-level entities each strategy proposes: L-reduce (one
+per distinct feature vector), Bimax-Naive (Algorithm 7), Bimax-Merge
+(Algorithm 8).  Expected shape (§7.3 "Conciseness"):
+
+* Bimax-Merge ≤ Bimax-Naive everywhere;
+* a large reduction on Yelp-Merged and on Pharma-without-collection-
+  detection (optional-field fragmentation);
+* no reduction on GitHub (few optional fields);
+* single-entity tables (Yelp-Photos/Review/Tip) report exactly 1.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import BENCH_TRIALS, bench_records, emit
+from repro.io.sampling import uniform_sample
+from repro.metrics.conciseness import (
+    ConcisenessRow,
+    count_entities,
+    format_conciseness_table,
+)
+
+DATASETS = [
+    "twitter",
+    "nyt",
+    "synapse",
+    "github",
+    "pharma",
+    "yelp-merged",
+    "yelp-business",
+    "yelp-checkin",
+    "yelp-photos",
+    "yelp-review",
+    "yelp-tip",
+    "yelp-user",
+]
+
+
+def _row(dataset: str) -> ConcisenessRow:
+    records = bench_records(dataset, seed=31)
+    row = ConcisenessRow(dataset=dataset)
+    for trial in range(BENCH_TRIALS):
+        sample = uniform_sample(records, 0.9, seed=100 + trial)
+        counts = count_entities(sample)
+        row.l_reduce.append(counts["l-reduce"])
+        row.bimax_naive.append(counts["bimax-naive"])
+        row.bimax_merge.append(counts["bimax-merge"])
+    return row
+
+
+def test_table4_conciseness(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_row(dataset) for dataset in DATASETS],
+        rounds=1,
+        iterations=1,
+    )
+    emit("table4_conciseness", format_conciseness_table(rows))
+
+    by_name = {row.dataset: row.summary() for row in rows}
+    for name, summary in by_name.items():
+        assert (
+            summary["bimax_merge_mean"] <= summary["bimax_naive_mean"]
+        ), name
+        assert (
+            summary["bimax_naive_mean"] <= summary["l_reduce_mean"]
+        ), name
+
+    # Pharma: nearly every record has a unique type (L-reduce
+    # explodes); collection pruning collapses the Bimax view to one
+    # entity — the paper's 141177 -> 1.0 row, at bench scale.
+    assert by_name["pharma"]["bimax_merge_mean"] == 1.0
+    assert by_name["pharma"]["l_reduce_mean"] > 100
+    # GitHub entities have few optional fields: naive ≈ merge.
+    github = by_name["github"]
+    assert github["bimax_merge_mean"] >= github["bimax_naive_mean"] - 1.0
+    # Clean single-entity tables report exactly one entity.
+    for name in ("yelp-photos", "yelp-review", "yelp-tip"):
+        assert by_name[name]["bimax_merge_mean"] == 1.0
+    # Yelp-Merged recovers roughly its six ground-truth tables.
+    assert 5.0 <= by_name["yelp-merged"]["bimax_merge_mean"] <= 9.0

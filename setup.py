@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Enables legacy editable installs (``pip install -e .``) on
+environments whose setuptools predates PEP 660 wheel-less editables;
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,308 @@
+"""Command-line interface: ``jxplain``.
+
+Subcommands:
+
+* ``discover`` — extract a schema from a JSON-lines file and print it
+  (text or JSON Schema);
+* ``validate`` — validate a JSON-lines file against a JSON Schema
+  document produced by ``discover --format json``;
+* ``entropy`` — report the schema entropy of a stored schema;
+* ``generate`` — materialize one of the synthetic datasets as
+  JSON-lines;
+* ``diff`` — compare two stored schemas and report structural changes;
+* ``docs`` — render a stored schema as a Markdown documentation page;
+* ``coref`` — report entities repeated at multiple schema paths;
+* ``datasets`` / ``algorithms`` — list what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.datasets import dataset_names, make_dataset
+from repro.discovery import EntityStrategy, discoverer_names, make_discoverer
+from repro.io.jsonlines import read_jsonlines, write_jsonlines
+from repro.schema import (
+    from_json_schema,
+    render,
+    schema_entropy,
+    to_json_schema,
+)
+from repro.validation import first_failures, validate_records
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jxplain",
+        description="Ambiguity-aware JSON schema discovery (SIGMOD 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    discover = sub.add_parser(
+        "discover", help="extract a schema from a JSON-lines file"
+    )
+    discover.add_argument("input", help="path to a .jsonl file")
+    discover.add_argument(
+        "--algorithm",
+        default="bimax-merge",
+        help="one of: " + ", ".join(discoverer_names()),
+    )
+    discover.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output as readable text or a JSON Schema document",
+    )
+    discover.add_argument(
+        "--output", default=None, help="write the schema here instead of stdout"
+    )
+    discover.add_argument(
+        "--threshold", type=float, default=None,
+        help="key-space entropy threshold (default 1.0)",
+    )
+    discover.add_argument(
+        "--similarity-depth", type=int, default=None,
+        help="bound the similarity check depth (default: unbounded)",
+    )
+    discover.add_argument(
+        "--strategy", default=None,
+        choices=[strategy.value for strategy in EntityStrategy],
+        help="entity strategy (default bimax-merge)",
+    )
+    discover.add_argument(
+        "--no-collections", action="store_true",
+        help="disable collection detection (K-reduce-style objects/arrays)",
+    )
+
+    validate = sub.add_parser(
+        "validate", help="validate records against a stored JSON Schema"
+    )
+    validate.add_argument("schema", help="JSON Schema document (from discover)")
+    validate.add_argument("input", help="path to a .jsonl file")
+    validate.add_argument(
+        "--explain", type=int, default=0, metavar="N",
+        help="print explanations for the first N failures",
+    )
+
+    entropy = sub.add_parser(
+        "entropy", help="schema entropy of a stored JSON Schema"
+    )
+    entropy.add_argument("schema", help="JSON Schema document")
+    entropy.add_argument(
+        "--literal-collections",
+        action="store_true",
+        help="use the literal (compounding) collection count",
+    )
+
+    generate = sub.add_parser(
+        "generate", help="materialize a synthetic dataset as JSON-lines"
+    )
+    generate.add_argument(
+        "dataset", help="one of: " + ", ".join(dataset_names())
+    )
+    generate.add_argument("output", help="path of the .jsonl file to write")
+    generate.add_argument("--records", type=int, default=0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    diff = sub.add_parser(
+        "diff", help="compare two stored JSON Schema documents"
+    )
+    diff.add_argument("old", help="baseline schema (from discover)")
+    diff.add_argument("new", help="candidate schema (from discover)")
+    diff.add_argument(
+        "--breaking-only",
+        action="store_true",
+        help="report only changes that affect validation",
+    )
+
+    docs = sub.add_parser(
+        "docs", help="render a stored schema as Markdown documentation"
+    )
+    docs.add_argument("schema", help="JSON Schema document")
+    docs.add_argument("--title", default="Discovered schema")
+    docs.add_argument(
+        "--output", default=None, help="write Markdown here instead of stdout"
+    )
+
+    coref = sub.add_parser(
+        "coref", help="find entities repeated at multiple schema paths"
+    )
+    coref.add_argument("schema", help="JSON Schema document")
+    coref.add_argument(
+        "--jaccard", type=float, default=0.8,
+        help="near-equality threshold on key-set overlap",
+    )
+
+    sub.add_parser("datasets", help="list dataset generators")
+    sub.add_parser("algorithms", help="list discovery algorithms")
+    return parser
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    records = list(read_jsonlines(args.input))
+    if not records:
+        print("error: input contains no records", file=sys.stderr)
+        return 2
+    discoverer = make_discoverer(args.algorithm)
+    overrides = {}
+    if args.threshold is not None:
+        overrides["entropy_threshold"] = args.threshold
+    if args.similarity_depth is not None:
+        overrides["similarity_depth"] = args.similarity_depth
+    if args.strategy is not None:
+        overrides["entity_strategy"] = EntityStrategy(args.strategy)
+    if args.no_collections:
+        overrides["detect_object_collections"] = False
+        overrides["detect_array_tuples"] = False
+    if overrides:
+        if not hasattr(discoverer, "config"):
+            print(
+                f"error: --threshold/--strategy options do not apply to "
+                f"{args.algorithm}",
+                file=sys.stderr,
+            )
+            return 2
+        discoverer.config = discoverer.config.with_(**overrides)
+    schema = discoverer.discover(records)
+    if args.format == "json":
+        text = json.dumps(to_json_schema(schema), indent=2, sort_keys=True)
+    else:
+        text = render(schema)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = from_json_schema(json.load(handle))
+    records = list(read_jsonlines(args.input))
+    report = validate_records(schema, records)
+    print(
+        f"validated {report.total} records: "
+        f"{report.valid_count} accepted, {report.invalid_count} rejected "
+        f"(recall {report.recall:.4f})"
+    )
+    if args.explain > 0 and report.invalid_count:
+        for index, violations in first_failures(
+            schema, records, limit=args.explain
+        ):
+            print(f"record {index}:")
+            for violation in violations:
+                print(f"  {violation}")
+    return 0 if report.invalid_count == 0 else 1
+
+
+def _cmd_entropy(args: argparse.Namespace) -> int:
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = from_json_schema(json.load(handle))
+    value = schema_entropy(
+        schema, literal_collections=args.literal_collections
+    )
+    print(f"{value:.4f}")
+    return 0
+
+
+def _load_schema(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return from_json_schema(json.load(handle))
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.validation import diff_schemas
+
+    diff = diff_schemas(_load_schema(args.old), _load_schema(args.new))
+    changes = (
+        diff.breaking_changes() if args.breaking_only else diff.changes
+    )
+    if not changes:
+        print("schemas are structurally identical")
+        return 0
+    for change in changes:
+        marker = "!" if change.breaking else " "
+        print(f"{marker} {change}")
+    return 1 if diff.breaking_changes() else 0
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    from repro.schema import schema_to_markdown
+
+    text = schema_to_markdown(_load_schema(args.schema), title=args.title)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_coref(args: argparse.Namespace) -> int:
+    from repro.discovery import find_coreferences
+
+    groups = find_coreferences(
+        _load_schema(args.schema), jaccard_threshold=args.jaccard
+    )
+    if not groups:
+        print("no co-references found")
+        return 0
+    for group in groups:
+        print(group.describe())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = make_dataset(args.dataset)
+    records = generator.generate(args.records, seed=args.seed)
+    count = write_jsonlines(args.output, records)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``jxplain`` console script."""
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early: not an
+        # error from the user's point of view.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "discover":
+        return _cmd_discover(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "entropy":
+        return _cmd_entropy(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    if args.command == "docs":
+        return _cmd_docs(args)
+    if args.command == "coref":
+        return _cmd_coref(args)
+    if args.command == "datasets":
+        print("\n".join(dataset_names()))
+        return 0
+    if args.command == "algorithms":
+        print("\n".join(discoverer_names()))
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Synthetic analogues of the paper's evaluation corpora (§7).
+
+Importing this package registers every generator; use
+:func:`make_dataset` / :func:`dataset_names` to enumerate them.  The
+``PAPER_DATASETS`` tuple lists the names in the order the paper's
+tables present them.
+"""
+
+from repro.datasets.base import (
+    DatasetGenerator,
+    LabeledRecord,
+    dataset_names,
+    make_dataset,
+    register_dataset,
+)
+from repro.datasets.figure1 import FIGURE1_RECORDS, Figure1Events
+from repro.datasets.github import GithubEvents
+from repro.datasets.nyt import NytArchive
+from repro.datasets.pharma import DRUG_VOCABULARY_SIZE, PharmaPrescriptions
+from repro.datasets.synapse import SynapseEvents
+from repro.datasets.twitter import TwitterStream
+from repro.datasets.wikidata import WikidataDump
+from repro.datasets.yelp import (
+    YelpBusiness,
+    YelpCheckin,
+    YelpMerged,
+    YelpPhotos,
+    YelpReview,
+    YelpTip,
+    YelpUser,
+)
+
+#: Dataset names in the order the paper's tables present them.
+PAPER_DATASETS = (
+    "nyt",
+    "synapse",
+    "twitter",
+    "github",
+    "pharma",
+    "wikidata",
+    "yelp-merged",
+    "yelp-business",
+    "yelp-checkin",
+    "yelp-photos",
+    "yelp-review",
+    "yelp-tip",
+    "yelp-user",
+)
+
+__all__ = [
+    "DRUG_VOCABULARY_SIZE",
+    "DatasetGenerator",
+    "FIGURE1_RECORDS",
+    "Figure1Events",
+    "GithubEvents",
+    "LabeledRecord",
+    "NytArchive",
+    "PAPER_DATASETS",
+    "PharmaPrescriptions",
+    "SynapseEvents",
+    "TwitterStream",
+    "WikidataDump",
+    "YelpBusiness",
+    "YelpCheckin",
+    "YelpMerged",
+    "YelpPhotos",
+    "YelpReview",
+    "YelpTip",
+    "YelpUser",
+    "dataset_names",
+    "make_dataset",
+    "register_dataset",
+]

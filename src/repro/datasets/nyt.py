@@ -1,0 +1,151 @@
+"""Synthetic New York Times article archive (substitute for [31]).
+
+The 2019 archive: ~70k articles whose ``multimedia`` arrays are
+**multi-entity nested collections** (§3.3's example) — image,
+slideshow and video summaries interleave in one array.  Headline and
+byline sub-objects carry optional fields; ``keywords`` is a clean
+single-entity object array.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.datasets.base import (
+    DatasetGenerator,
+    LabeledRecord,
+    hex_id,
+    iso_timestamp,
+    register_dataset,
+    sentence,
+    word,
+)
+
+_SECTIONS = (
+    "World",
+    "U.S.",
+    "Business Day",
+    "Opinion",
+    "Arts",
+    "Science",
+    "Sports",
+    "Technology",
+)
+
+_MATERIAL = ("News", "Op-Ed", "Review", "Obituary", "Editorial")
+
+
+def _multimedia_item(rng: random.Random) -> Dict:
+    """One element of the multi-entity ``multimedia`` array."""
+    kind = rng.choices(
+        ["image", "slideshow", "video"], weights=[80, 12, 8]
+    )[0]
+    if kind == "image":
+        return {
+            "type": "image",
+            "subtype": rng.choice(["photo", "thumbnail", "xlarge"]),
+            "url": f"images/2019/{word(rng, 8)}.jpg",
+            "height": rng.randint(50, 2048),
+            "width": rng.randint(50, 2048),
+            "caption": sentence(rng, 8),
+        }
+    if kind == "slideshow":
+        return {
+            "type": "slideshow",
+            "url": f"slideshow/2019/{word(rng, 8)}",
+            "slide_count": rng.randint(2, 20),
+            "credit": word(rng, 10),
+        }
+    return {
+        "type": "video",
+        "url": f"video/2019/{word(rng, 8)}",
+        "duration_ms": rng.randint(10_000, 600_000),
+        "poster": f"images/2019/{word(rng, 8)}.jpg",
+        "live": rng.random() < 0.05,
+    }
+
+
+def _headline(rng: random.Random) -> Dict:
+    headline = {"main": sentence(rng, 7)}
+    if rng.random() < 0.3:
+        headline["kicker"] = sentence(rng, 2)
+    if rng.random() < 0.5:
+        headline["print_headline"] = sentence(rng, 6)
+    return headline
+
+
+def _byline(rng: random.Random) -> Dict:
+    people = [
+        {
+            "firstname": word(rng, 6).capitalize(),
+            "lastname": word(rng, 8).capitalize(),
+            "role": "reported",
+            "rank": index + 1,
+        }
+        for index in range(rng.randint(1, 3))
+    ]
+    byline = {
+        "original": "By " + " and ".join(
+            f"{p['firstname']} {p['lastname']}" for p in people
+        ),
+        "person": people,
+    }
+    if rng.random() < 0.1:
+        byline["organization"] = "The Associated Press"
+    return byline
+
+
+@register_dataset
+class NytArchive(DatasetGenerator):
+    """NYT archive articles with multi-entity multimedia arrays."""
+
+    name = "nyt"
+    default_size = 1800
+    entity_labels = ("article",)
+
+    def generate_labeled(self, n: int, seed: int = 0) -> List[LabeledRecord]:
+        self._check_n(n)
+        rng = random.Random(seed)
+        records: List[LabeledRecord] = []
+        for _ in range(n):
+            record = {
+                "_id": f"nyt://article/{hex_id(rng, 32)}",
+                "web_url": f"https://www.nytimes.com/2019/{word(rng, 10)}.html",
+                "snippet": sentence(rng, 12),
+                "lead_paragraph": sentence(rng, 25),
+                "abstract": sentence(rng, 12),
+                "source": "The New York Times",
+                "multimedia": [
+                    _multimedia_item(rng)
+                    for _ in range(rng.randint(0, 8))
+                ],
+                "headline": _headline(rng),
+                "keywords": [
+                    {
+                        "name": rng.choice(
+                            ["subject", "glocations", "persons", "organizations"]
+                        ),
+                        "value": sentence(rng, 2),
+                        "rank": rank + 1,
+                        "major": "N",
+                    }
+                    for rank in range(rng.randint(0, 6))
+                ],
+                "pub_date": iso_timestamp(rng, 2019),
+                "document_type": "article",
+                "news_desk": rng.choice(_SECTIONS),
+                "section_name": rng.choice(_SECTIONS),
+                "byline": _byline(rng),
+                "type_of_material": rng.choice(_MATERIAL),
+                "word_count": rng.randint(100, 5000),
+                "uri": f"nyt://article/{hex_id(rng, 32)}",
+            }
+            if rng.random() < 0.25:
+                record["print_page"] = str(rng.randint(1, 40))
+            if rng.random() < 0.25:
+                record["print_section"] = rng.choice(["A", "B", "C", "D"])
+            if rng.random() < 0.15:
+                record["subsection_name"] = rng.choice(_SECTIONS)
+            records.append(("article", record))
+        return records

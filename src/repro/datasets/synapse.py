@@ -1,0 +1,228 @@
+"""Synthetic Matrix Synapse event log (substitute for [19]).
+
+The paper's Synapse table is a multi-year immutable history of state
+events with ~36 observable protocol revisions.  The structural features
+that matter:
+
+* a two-level nested collection ``signatures: {server: {key_id: sig}}``
+  whose outer *and* inner key domains grow with the data — the paper's
+  showcase for collection-detection recall (§7.1);
+* several event-type entities (``m.room.message``, ``m.room.member``,
+  ``m.room.create``, ...) with type-specific ``content``;
+* protocol revisions that add envelope fields over time, so the key
+  sets drift across the stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.datasets.base import (
+    DatasetGenerator,
+    LabeledRecord,
+    hex_id,
+    mixture,
+    register_dataset,
+    sentence,
+    word,
+)
+
+#: Event-type mixture, loosely matching a busy room's history.
+EVENT_MIX = (
+    ("m.room.message", 70.0),
+    ("m.room.member", 15.0),
+    ("m.room.name", 3.0),
+    ("m.room.topic", 3.0),
+    ("m.room.power_levels", 3.0),
+    ("m.room.create", 2.0),
+    ("m.room.redaction", 2.0),
+    ("m.room.encryption", 2.0),
+)
+
+#: Number of simulated protocol revisions across the stream.
+REVISIONS = 36
+
+#: Number of distinct federated servers observed in the deployment.
+SERVER_POOL = 150
+
+#: Signing keys per server (each server's key ids are stable).
+KEYS_PER_SERVER = (1, 2)
+
+
+def _server_directory(seed: int = 777) -> "List[tuple]":
+    """The deployment's server pool with each server's stable key ids.
+
+    The local homeserver (index 0) signs every event; remote servers
+    recur with Zipf-ish frequency, as in a real federation.
+    """
+    rng = random.Random(seed)
+    directory = []
+    for index in range(SERVER_POOL):
+        server = f"{word(rng, 6)}.org" if index else "example.org"
+        key_count = rng.randint(*KEYS_PER_SERVER)
+        keys = [f"ed25519:a_{word(rng, 4)}" for _ in range(key_count)]
+        directory.append((server, keys))
+    return directory
+
+
+_SERVERS = _server_directory()
+
+
+def _member_pool(seed: int = 778, size: int = 400) -> "List[tuple]":
+    """Stable pool of room members as ``(mxid, server_index)`` pairs.
+
+    Members are spread across the federation Zipf-style: a third live
+    on the local homeserver, the rest on remote servers, so the server
+    that signs an event (the sender's) varies across the stream.
+    """
+    rng = random.Random(seed)
+    members = []
+    for _ in range(size):
+        if rng.random() < 0.25:
+            server_index = 0
+        else:
+            server_index = min(
+                1 + int(rng.expovariate(0.035)), SERVER_POOL - 1
+            )
+        server_name = _SERVERS[server_index][0]
+        members.append((f"@{word(rng, 6)}:{server_name}", server_index))
+    return members
+
+
+_MEMBERS = _member_pool()
+_MEMBER_IDS = [mxid for mxid, _ in _MEMBERS]
+
+
+def _content(rng: random.Random, event_type: str) -> Dict:
+    if event_type == "m.room.message":
+        content = {
+            "msgtype": rng.choice(["m.text", "m.image", "m.notice"]),
+            "body": sentence(rng, rng.randint(2, 20)),
+        }
+        if content["msgtype"] == "m.image":
+            content["url"] = f"mxc://example.org/{hex_id(rng, 24)}"
+            content["info"] = {
+                "mimetype": "image/png",
+                "w": rng.randint(100, 4000),
+                "h": rng.randint(100, 4000),
+                "size": rng.randint(1000, 10_000_000),
+            }
+        return content
+    if event_type == "m.room.member":
+        content = {
+            "membership": rng.choice(["join", "leave", "invite"]),
+            "displayname": word(rng, 7),
+        }
+        if rng.random() < 0.4:
+            content["avatar_url"] = f"mxc://example.org/{hex_id(rng, 24)}"
+        return content
+    if event_type == "m.room.name":
+        return {"name": sentence(rng, 3)}
+    if event_type == "m.room.topic":
+        return {"topic": sentence(rng, 8)}
+    if event_type == "m.room.power_levels":
+        return {
+            "ban": 50,
+            "kick": 50,
+            "redact": 50,
+            "invite": 0,
+            "state_default": 50,
+            "events_default": 0,
+            "users_default": 0,
+            # Collection-like: user id → power level.
+            "users": {
+                member: rng.choice([0, 50, 100])
+                for member in rng.sample(_MEMBER_IDS, rng.randint(1, 6))
+            },
+            "events": {
+                rng.choice(
+                    ["m.room.name", "m.room.avatar", "m.room.topic"]
+                ): 50
+                for _ in range(rng.randint(1, 3))
+            },
+        }
+    if event_type == "m.room.create":
+        return {
+            "creator": rng.choice(_MEMBER_IDS),
+            "room_version": str(rng.randint(1, 9)),
+        }
+    if event_type == "m.room.redaction":
+        return {"reason": sentence(rng, 4)} if rng.random() < 0.5 else {}
+    if event_type == "m.room.encryption":
+        return {
+            "algorithm": "m.megolm.v1.aes-sha2",
+            "rotation_period_ms": 604800000,
+            "rotation_period_msgs": 100,
+        }
+    raise ValueError(f"unknown Synapse event type {event_type}")
+
+
+def _signatures(rng: random.Random, sender_server: int) -> Dict:
+    """The two-level nested collection highlighted in §7.1.
+
+    The sender's homeserver signs every event it originates; the local
+    homeserver co-signs remote events it relays.  Key ids are stable
+    per server, so the inner key domain stays realistic (a few dozen,
+    not thousands), while the outer server domain varies with the
+    sender — which is what gives the path its high key-space entropy.
+    """
+    signing = [_SERVERS[sender_server]]
+    if sender_server != 0 and rng.random() < 0.5:
+        signing.append(_SERVERS[0])
+    signatures: Dict = {}
+    for server, key_ids in signing:
+        keys = {}
+        for key_id in key_ids:
+            if len(keys) == 0 or rng.random() < 0.5:
+                keys[key_id] = hex_id(rng, 86)
+        signatures[server] = keys
+    return signatures
+
+
+@register_dataset
+class SynapseEvents(DatasetGenerator):
+    """Matrix state events with nested signature collections."""
+
+    name = "synapse"
+    default_size = 2500
+    entity_labels = tuple(label for label, _ in EVENT_MIX)
+
+    def generate_labeled(self, n: int, seed: int = 0) -> List[LabeledRecord]:
+        self._check_n(n)
+        rng = random.Random(seed)
+        records: List[LabeledRecord] = []
+        for index in range(n):
+            event_type = mixture(rng, EVENT_MIX)
+            # The stream position determines the protocol revision;
+            # later revisions add envelope fields.
+            revision = (index * REVISIONS) // max(n, 1)
+            sender, sender_server = rng.choice(_MEMBERS)
+            record = {
+                "event_id": f"${hex_id(rng, 32)}",
+                "type": event_type,
+                "room_id": f"!{hex_id(rng, 18)}:example.org",
+                "sender": sender,
+                "origin_server_ts": rng.randint(
+                    1_400_000_000_000, 1_650_000_000_000
+                ),
+                "content": _content(rng, event_type),
+                "signatures": _signatures(rng, sender_server),
+                "hashes": {"sha256": hex_id(rng, 43)},
+                "depth": rng.randint(1, 500_000),
+                "prev_events": [
+                    f"${hex_id(rng, 32)}" for _ in range(rng.randint(1, 2))
+                ],
+            }
+            if revision >= 6:
+                record["origin"] = "example.org"
+            if revision >= 14:
+                record["unsigned"] = {"age_ts": rng.randint(0, 10_000_000)}
+            if revision >= 24:
+                record["auth_events"] = [
+                    f"${hex_id(rng, 32)}" for _ in range(rng.randint(1, 3))
+                ]
+            if event_type == "m.room.member" and revision >= 10:
+                record["state_key"] = rng.choice(_MEMBER_IDS)
+            records.append((event_type, record))
+        return records

@@ -1,0 +1,167 @@
+"""Synthetic Twitter stream (substitute for the Decahose sample [32]).
+
+Reproduces the structural hazards the paper calls out:
+
+* **geo tuple arrays** — ``coordinates.coordinates`` is a GeoJSON
+  ``[longitude, latitude]`` pair, always length 2 (§3.1's array-as-
+  tuple ambiguity);
+* **recursive schemas** — ``retweeted_status`` / ``quoted_status``
+  nest a full tweet, to bounded depth;
+* **multi-entity root** — the stream interleaves tweets with
+  ``delete`` notices (a disjoint record shape);
+* **object arrays** — ``entities.hashtags`` / ``urls`` /
+  ``user_mentions`` are collections of small tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.datasets.base import (
+    DatasetGenerator,
+    LabeledRecord,
+    iso_timestamp,
+    register_dataset,
+    sentence,
+    word,
+)
+
+#: Fraction of stream records that are delete notices.
+DELETE_FRACTION = 0.08
+
+#: Probability a tweet is a retweet (nests a full tweet one level).
+RETWEET_PROBABILITY = 0.25
+
+#: Probability a tweet quotes another tweet.
+QUOTE_PROBABILITY = 0.10
+
+#: Probability a tweet carries point coordinates.
+GEO_PROBABILITY = 0.15
+
+
+def _user(rng: random.Random) -> Dict:
+    created = iso_timestamp(rng, year=rng.randint(2008, 2019))
+    user = {
+        "id": rng.randint(1, 3_000_000_000),
+        "id_str": str(rng.randint(1, 3_000_000_000)),
+        "name": word(rng, 8),
+        "screen_name": word(rng, 9),
+        "location": word(rng, 7) if rng.random() < 0.6 else None,
+        "url": None,
+        "description": sentence(rng, 8) if rng.random() < 0.7 else None,
+        "verified": rng.random() < 0.02,
+        "followers_count": rng.randint(0, 2_000_000),
+        "friends_count": rng.randint(0, 10_000),
+        "listed_count": rng.randint(0, 5_000),
+        "favourites_count": rng.randint(0, 100_000),
+        "statuses_count": rng.randint(1, 500_000),
+        "created_at": created,
+        "lang": rng.choice(["en", "es", "ja", "pt", None]),
+    }
+    return user
+
+
+def _entities(rng: random.Random) -> Dict:
+    return {
+        "hashtags": [
+            {"text": word(rng, 6), "indices": [rng.randint(0, 50), rng.randint(51, 140)]}
+            for _ in range(rng.randint(0, 3))
+        ],
+        "urls": [
+            {
+                "url": f"https://t.co/{word(rng, 10)}",
+                "expanded_url": f"https://example.com/{word(rng, 8)}",
+                "display_url": f"example.com/{word(rng, 8)}",
+                "indices": [rng.randint(0, 50), rng.randint(51, 140)],
+            }
+            for _ in range(rng.randint(0, 4))
+        ],
+        "user_mentions": [
+            {
+                "screen_name": word(rng, 8),
+                "name": word(rng, 8),
+                "id": rng.randint(1, 3_000_000_000),
+                "id_str": str(rng.randint(1, 3_000_000_000)),
+                "indices": [rng.randint(0, 50), rng.randint(51, 140)],
+            }
+            for _ in range(rng.randint(0, 4))
+        ],
+    }
+
+
+def _tweet(rng: random.Random, depth: int) -> Dict:
+    tweet_id = rng.randint(1_000_000_000_000, 9_999_999_999_999)
+    tweet = {
+        "created_at": iso_timestamp(rng),
+        "id": tweet_id,
+        "id_str": str(tweet_id),
+        "text": sentence(rng, rng.randint(4, 18)),
+        "source": '<a href="http://twitter.com">Twitter Web Client</a>',
+        "truncated": rng.random() < 0.1,
+        "user": _user(rng),
+        "entities": _entities(rng),
+        "retweet_count": rng.randint(0, 50_000),
+        "favorite_count": rng.randint(0, 100_000),
+        "favorited": False,
+        "retweeted": False,
+        "lang": rng.choice(["en", "es", "ja", "pt", "und"]),
+    }
+    if rng.random() < GEO_PROBABILITY:
+        tweet["coordinates"] = {
+            "type": "Point",
+            # GeoJSON order: [longitude, latitude] — always 2 elements.
+            "coordinates": [
+                round(rng.uniform(-180, 180), 5),
+                round(rng.uniform(-90, 90), 5),
+            ],
+        }
+    else:
+        tweet["coordinates"] = None
+    if depth > 0 and rng.random() < RETWEET_PROBABILITY:
+        tweet["retweeted_status"] = _tweet(rng, depth - 1)
+    if depth > 0 and rng.random() < QUOTE_PROBABILITY:
+        quoted = _tweet(rng, depth - 1)
+        tweet["quoted_status"] = quoted
+        tweet["quoted_status_id"] = quoted["id"]
+        tweet["quoted_status_id_str"] = quoted["id_str"]
+    return tweet
+
+
+def _delete_notice(rng: random.Random) -> Dict:
+    status_id = rng.randint(1_000_000_000_000, 9_999_999_999_999)
+    user_id = rng.randint(1, 3_000_000_000)
+    return {
+        "delete": {
+            "status": {
+                "id": status_id,
+                "id_str": str(status_id),
+                "user_id": user_id,
+                "user_id_str": str(user_id),
+            },
+            "timestamp_ms": str(rng.randint(1_500_000_000_000, 1_600_000_000_000)),
+        }
+    }
+
+
+@register_dataset
+class TwitterStream(DatasetGenerator):
+    """Tweets interleaved with delete notices, recursive to depth 2."""
+
+    name = "twitter"
+    default_size = 1500
+    entity_labels = ("tweet", "delete")
+
+    #: Maximum retweet/quote nesting depth.
+    max_depth = 2
+
+    def generate_labeled(self, n: int, seed: int = 0) -> List[LabeledRecord]:
+        self._check_n(n)
+        rng = random.Random(seed)
+        records: List[LabeledRecord] = []
+        for _ in range(n):
+            if rng.random() < DELETE_FRACTION:
+                records.append(("delete", _delete_notice(rng)))
+            else:
+                records.append(("tweet", _tweet(rng, self.max_depth)))
+        return records

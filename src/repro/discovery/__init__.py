@@ -1,0 +1,104 @@
+"""Schema-discovery algorithms: L-reduce, K-reduce, and JXPLAIN.
+
+* :mod:`repro.discovery.lreduce` — naive discovery (§2.1);
+* :mod:`repro.discovery.kreduce` — the production-style baseline
+  (§2.1, Algorithms 1–3), with its associative fold form;
+* :mod:`repro.discovery.jxplain` — the recursive reference JXPLAIN
+  (§4.1, Algorithm 4);
+* :mod:`repro.discovery.pipeline` — the staged three-pass JXPLAIN
+  (§4.2, Figure 3) over the dataflow engine;
+* :mod:`repro.discovery.fold` — pass ③ as an associative fold.
+"""
+
+from repro.discovery.base import (
+    Discoverer,
+    FunctionDiscoverer,
+    discoverer_names,
+    make_discoverer,
+    register_discoverer,
+)
+from repro.discovery.config import (
+    BIMAX_MERGE_CONFIG,
+    BIMAX_NAIVE_CONFIG,
+    EntityStrategy,
+    JxplainConfig,
+)
+from repro.discovery.coref import (
+    CoReference,
+    find_coreferences,
+    unify_coreferences,
+)
+from repro.discovery.fold import DecidedFolder, FoldNode
+from repro.discovery.jxplain import (
+    Jxplain,
+    JxplainMerger,
+    JxplainNaive,
+    cluster_key_sets,
+    jxplain_merge,
+)
+from repro.discovery.kreduce import (
+    KReduce,
+    merge_array_coll,
+    merge_k,
+    merge_k_schemas,
+    merge_object_tuple,
+)
+from repro.discovery.lreduce import LReduce, merge_naive
+from repro.discovery.pipeline import (
+    JxplainPipeline,
+    PipelineMerger,
+    PipelineResult,
+    TupleShapes,
+    build_partitioners,
+)
+from repro.discovery.streaming import StreamingJxplain, StreamingKReduce
+from repro.discovery.stat_tree import (
+    CollectionDecisions,
+    PathEntropy,
+    StatTree,
+    collection_paths,
+    decide_collections,
+    entropy_profile,
+)
+
+__all__ = [
+    "BIMAX_MERGE_CONFIG",
+    "BIMAX_NAIVE_CONFIG",
+    "CoReference",
+    "CollectionDecisions",
+    "DecidedFolder",
+    "Discoverer",
+    "EntityStrategy",
+    "FoldNode",
+    "FunctionDiscoverer",
+    "Jxplain",
+    "JxplainConfig",
+    "JxplainMerger",
+    "JxplainNaive",
+    "JxplainPipeline",
+    "KReduce",
+    "LReduce",
+    "PathEntropy",
+    "PipelineMerger",
+    "PipelineResult",
+    "StatTree",
+    "StreamingJxplain",
+    "StreamingKReduce",
+    "TupleShapes",
+    "build_partitioners",
+    "cluster_key_sets",
+    "collection_paths",
+    "decide_collections",
+    "discoverer_names",
+    "entropy_profile",
+    "find_coreferences",
+    "unify_coreferences",
+    "jxplain_merge",
+    "make_discoverer",
+    "merge_array_coll",
+    "merge_k",
+    "merge_k_schemas",
+    "merge_naive",
+    "merge_object_tuple",
+    "register_discoverer",
+]

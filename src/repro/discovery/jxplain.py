@@ -1,0 +1,357 @@
+"""JXPLAIN's merge algorithm (Section 4.1, Algorithm 4).
+
+At every complex-kinded path, two data-dependent decisions replace the
+data-independent assumptions of K-reduction:
+
+1. **Collection or tuple?** — decided by the entropy + similarity
+   heuristic of Section 5 (Algorithm 5), for arrays *and* objects.
+2. **How many entities?** — tuple-like bags are partitioned by the
+   Bimax machinery of Section 6 and each entity is merged separately.
+
+This module is the *reference* recursive implementation: it sees the
+whole bag at each path, exactly as the simplified Algorithm 4 does.
+The staged three-pass variant that decouples the heuristics for
+distribution (Figure 3) lives in :mod:`repro.discovery.pipeline`; it
+subclasses :class:`JxplainMerger` and overrides the two heuristic
+hooks with precomputed per-path answers.
+
+Paths threaded through the recursion are *data paths*: object keys and
+array positions, with the :data:`~repro.jsontypes.paths.STAR` wildcard
+for steps beneath a detected collection.  Entity partitioning does not
+add a path step — all entities at a path share it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.discovery.base import Discoverer, register_discoverer
+from repro.discovery.config import EntityStrategy, FeatureMode, JxplainConfig
+from repro.entities.bimax import EntityCluster, bimax_naive
+from repro.entities.greedy_merge import merge_to_fixpoint, greedy_merge
+from repro.entities.kmeans import kmeans_clusters
+from repro.entities.partitioner import EntityPartitioner
+from repro.errors import EmptyInputError, RecursionDepthError
+from repro.heuristics.collection import (
+    CollectionEvidence,
+    Designation,
+    decide_designation,
+)
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.paths import Path, ROOT, STAR
+from repro.jsontypes.types import ArrayType, JsonType, ObjectType, PrimitiveType
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    ObjectCollection,
+    ObjectTuple,
+    PRIMITIVE_SCHEMAS,
+    Schema,
+    union,
+)
+
+
+def cluster_key_sets(
+    key_sets: Sequence[frozenset], config: JxplainConfig
+) -> List[EntityCluster]:
+    """Apply the configured entity strategy to a bag of key-sets."""
+    distinct: List[frozenset] = []
+    seen = set()
+    for key_set in key_sets:
+        frozen = frozenset(key_set)
+        if frozen not in seen:
+            seen.add(frozen)
+            distinct.append(frozen)
+    strategy = config.entity_strategy
+    if strategy is EntityStrategy.SINGLE:
+        universe = frozenset().union(*distinct) if distinct else frozenset()
+        return [EntityCluster(maximal=universe, members=list(distinct))]
+    if strategy is EntityStrategy.EXACT:
+        return [
+            EntityCluster(maximal=key_set, members=[key_set])
+            for key_set in distinct
+        ]
+    naive = bimax_naive(distinct)
+    if strategy is EntityStrategy.BIMAX_NAIVE:
+        return naive
+    if strategy is EntityStrategy.BIMAX_MERGE:
+        return merge_to_fixpoint(greedy_merge(naive))
+    if strategy is EntityStrategy.KMEANS:
+        k = config.kmeans_k if config.kmeans_k is not None else len(naive)
+        k = min(k, len(distinct))
+        groups = kmeans_clusters(distinct, k, seed=config.kmeans_seed)
+        clusters = []
+        for group in groups:
+            if not group:
+                continue
+            clusters.append(
+                EntityCluster(
+                    maximal=frozenset().union(*group), members=list(group)
+                )
+            )
+        return clusters
+    raise ValueError(f"unknown entity strategy {strategy!r}")
+
+
+class JxplainMerger:
+    """Stateful recursive merger implementing Algorithm 4.
+
+    The :meth:`is_collection` and :meth:`partition_objects` /
+    :meth:`partition_arrays` hooks may be overridden (the staged
+    pipeline precomputes their answers per path); the defaults compute
+    them from the local bag, exactly as the simplified algorithm does.
+    """
+
+    def __init__(self, config: Optional[JxplainConfig] = None):
+        self.config = config or JxplainConfig()
+        self.config.validate()
+
+    # -- heuristic hooks ---------------------------------------------------
+
+    def is_collection(
+        self, kind: Kind, evidence: CollectionEvidence, path: Path
+    ) -> bool:
+        """Algorithm 5 on locally gathered evidence."""
+        if kind == Kind.OBJECT and not self.config.detect_object_collections:
+            return False
+        if kind == Kind.ARRAY and not self.config.detect_array_tuples:
+            return True
+        designation = decide_designation(
+            evidence, self.config.entropy_threshold
+        )
+        return designation is Designation.COLLECTION
+
+    def object_features(
+        self, objects: Sequence[ObjectType], path: Path
+    ) -> List[frozenset]:
+        """The feature vector of each object, per the configured mode.
+
+        ``PATHS`` mode (the paper's §6.4 implementation) runs a local
+        mini pass ① over the bag to find nested collections, then
+        prunes feature paths beneath them; ``KEYS`` mode uses the
+        top-level key set.
+        """
+        if self.config.feature_mode is FeatureMode.KEYS:
+            return [tau.key_set() for tau in objects]
+        # Imported here to avoid a cycle: stat_tree uses this module's
+        # sibling config only.
+        from repro.discovery.stat_tree import (
+            StatTree,
+            collection_paths,
+            decide_collections,
+        )
+        from repro.entities.features import type_paths
+
+        tree = StatTree.from_types(
+            objects, similarity_depth=self.config.similarity_depth
+        )
+        local_decisions = decide_collections(tree, self.config)
+        nested_collections = collection_paths(local_decisions)
+        return [
+            type_paths(
+                tau,
+                collection_paths=nested_collections,
+                prune_nested=True,
+            )
+            for tau in objects
+        ]
+
+    def partition_objects(
+        self, objects: Sequence[ObjectType], path: Path
+    ) -> List[List[ObjectType]]:
+        """Split tuple-like objects into entities via feature clusters."""
+        features = self.object_features(objects, path)
+        clusters = cluster_key_sets(features, self.config)
+        partitioner = EntityPartitioner(clusters)
+        return partitioner.non_empty_groups(list(objects), features)
+
+    def partition_arrays(
+        self, arrays: Sequence[ArrayType], path: Path
+    ) -> List[List[ArrayType]]:
+        """Split tuple-like arrays into entities via position-sets."""
+        key_sets = [
+            frozenset(str(i) for i in range(len(tau))) for tau in arrays
+        ]
+        clusters = cluster_key_sets(key_sets, self.config)
+        partitioner = EntityPartitioner(clusters)
+        return partitioner.non_empty_groups(list(arrays), key_sets)
+
+    # -- the merge itself ---------------------------------------------------
+
+    def merge(self, types: Iterable[JsonType]) -> Schema:
+        materialized = list(types)
+        if not materialized:
+            raise EmptyInputError("jxplain: no input types")
+        return self._merge_at(materialized, path=ROOT, depth=0)
+
+    def _merge_at(
+        self, types: List[JsonType], path: Path, depth: int
+    ) -> Schema:
+        if depth > self.config.max_depth:
+            raise RecursionDepthError(
+                f"merge exceeded max_depth={self.config.max_depth} at {path}"
+            )
+        primitive_kinds: List[Kind] = []
+        arrays: List[ArrayType] = []
+        objects: List[ObjectType] = []
+        for tau in types:
+            if isinstance(tau, PrimitiveType):
+                if tau.kind not in primitive_kinds:
+                    primitive_kinds.append(tau.kind)
+            elif isinstance(tau, ArrayType):
+                arrays.append(tau)
+            else:
+                objects.append(tau)
+        branches: List[Schema] = [
+            PRIMITIVE_SCHEMAS[kind] for kind in primitive_kinds
+        ]
+        if arrays:
+            branches.append(self._merge_arrays(arrays, path, depth))
+        if objects:
+            branches.append(self._merge_objects(objects, path, depth))
+        return union(*branches)
+
+    def _merge_arrays(
+        self, arrays: List[ArrayType], path: Path, depth: int
+    ) -> Schema:
+        evidence = CollectionEvidence.with_depth(
+            Kind.ARRAY, self.config.similarity_depth
+        )
+        for tau in arrays:
+            evidence.add(tau)
+        if self.is_collection(Kind.ARRAY, evidence, path):
+            return self._merge_array_collection(arrays, path, depth)
+        groups = self.partition_arrays(arrays, path)
+        return union(
+            *(
+                self._merge_array_entity(group, path, depth)
+                for group in groups
+            )
+        )
+
+    def _merge_array_collection(
+        self, arrays: List[ArrayType], path: Path, depth: int
+    ) -> Schema:
+        """Algorithm 2: a single-entity collection of the elements."""
+        values: List[JsonType] = []
+        max_length = 0
+        for tau in arrays:
+            values.extend(tau.elements)
+            max_length = max(max_length, len(tau))
+        nested = (
+            self._merge_at(values, path + (STAR,), depth + 1)
+            if values
+            else NEVER
+        )
+        return ArrayCollection(nested, max_length_seen=max_length)
+
+    def _merge_array_entity(
+        self, arrays: Sequence[ArrayType], path: Path, depth: int
+    ) -> Schema:
+        """One array entity: a tuple with an optional suffix."""
+        min_length = min(len(tau) for tau in arrays)
+        max_length = max(len(tau) for tau in arrays)
+        elements: List[Schema] = []
+        for position in range(max_length):
+            values = [
+                tau.elements[position]
+                for tau in arrays
+                if len(tau) > position
+            ]
+            elements.append(
+                self._merge_at(values, path + (position,), depth + 1)
+            )
+        return ArrayTuple(elements, min_length)
+
+    def _merge_objects(
+        self, objects: List[ObjectType], path: Path, depth: int
+    ) -> Schema:
+        evidence = CollectionEvidence.with_depth(
+            Kind.OBJECT, self.config.similarity_depth
+        )
+        for tau in objects:
+            evidence.add(tau)
+        if self.is_collection(Kind.OBJECT, evidence, path):
+            return self._merge_object_collection(objects, path, depth)
+        groups = self.partition_objects(objects, path)
+        return union(
+            *(
+                self._merge_object_entity(group, path, depth)
+                for group in groups
+            )
+        )
+
+    def _merge_object_collection(
+        self, objects: List[ObjectType], path: Path, depth: int
+    ) -> Schema:
+        """Collection-like objects: one joint nested schema."""
+        values: List[JsonType] = []
+        domain: set = set()
+        for tau in objects:
+            for key, value in tau.items():
+                domain.add(key)
+                values.append(value)
+        nested = (
+            self._merge_at(values, path + (STAR,), depth + 1)
+            if values
+            else NEVER
+        )
+        return ObjectCollection(nested, domain)
+
+    def _merge_object_entity(
+        self, objects: Sequence[ObjectType], path: Path, depth: int
+    ) -> Schema:
+        """Algorithm 3 for one entity: required ∩, optional ∪ − ∩."""
+        universal = set(objects[0].keys())
+        groups: dict = {}
+        for tau in objects:
+            universal &= set(tau.keys())
+            for key, value in tau.items():
+                groups.setdefault(key, []).append(value)
+        required = {
+            key: self._merge_at(values, path + (key,), depth + 1)
+            for key, values in groups.items()
+            if key in universal
+        }
+        optional = {
+            key: self._merge_at(values, path + (key,), depth + 1)
+            for key, values in groups.items()
+            if key not in universal
+        }
+        return ObjectTuple(required, optional)
+
+
+def jxplain_merge(
+    types: Iterable[JsonType], config: Optional[JxplainConfig] = None
+) -> Schema:
+    """Algorithm 4: JXPLAIN's merge with the given configuration."""
+    return JxplainMerger(config).merge(types)
+
+
+class Jxplain(Discoverer):
+    """JXPLAIN as a :class:`Discoverer` (default: Bimax-Merge)."""
+
+    name = "bimax-merge"
+
+    def __init__(self, config: Optional[JxplainConfig] = None):
+        self.config = config or JxplainConfig()
+
+    def merge_types(self, types: Iterable[JsonType]) -> Schema:
+        return jxplain_merge(types, self.config)
+
+
+class JxplainNaive(Jxplain):
+    """JXPLAIN with Bimax-Naive entity clustering (no GreedyMerge)."""
+
+    name = "bimax-naive"
+
+    def __init__(self, config: Optional[JxplainConfig] = None):
+        base = config or JxplainConfig()
+        super().__init__(
+            base.with_(entity_strategy=EntityStrategy.BIMAX_NAIVE)
+        )
+
+
+register_discoverer(Jxplain.name, Jxplain)
+register_discoverer(JxplainNaive.name, JxplainNaive)

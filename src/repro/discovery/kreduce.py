@@ -1,0 +1,187 @@
+"""K-reduction: the state-of-the-art baseline (Section 2.1, Alg. 1–3).
+
+K-reduction models production schema discovery (Spark's JSON data
+source, Oracle's JSON Data Guide): arrays are *always* single-entity
+collections, objects are *always* tuples whose variation is explained
+by optional fields, and each collection holds one entity.
+
+Its defining property is distributivity over union::
+
+    merge_K(R1 ∪ R2) = merge_K(merge_K(R1) ∪ merge_K(R2))
+
+so it runs as an associative fold.  :func:`merge_k` is the batch form
+(Algorithm 1); :func:`merge_k_schemas` is the fold's combine operator
+over already-merged schemas, used by the dataflow engine and verified
+equivalent to the batch form by property tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List
+
+from repro.discovery.base import Discoverer, register_discoverer
+from repro.errors import EmptyInputError, UnsupportedSchemaError
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.types import ArrayType, JsonType, ObjectType, PrimitiveType
+from repro.schema.nodes import (
+    ArrayCollection,
+    NEVER,
+    ObjectTuple,
+    PRIMITIVE_SCHEMAS,
+    PrimitiveSchema,
+    Schema,
+    Union,
+    union,
+)
+
+
+def merge_object_tuple(merge, objects: List[ObjectType]) -> Schema:
+    """Algorithm 3: merge object types as a single tuple entity.
+
+    Keys present in every object are required; the rest are optional.
+    Nested field types are grouped by key and merged recursively with
+    ``merge``.
+    """
+    if not objects:
+        return NEVER
+    universal = set(objects[0].keys())
+    groups: Dict[str, List[JsonType]] = defaultdict(list)
+    for tau in objects:
+        keys = set(tau.keys())
+        universal &= keys
+        for key, value in tau.items():
+            groups[key].append(value)
+    required = {
+        key: merge(values)
+        for key, values in groups.items()
+        if key in universal
+    }
+    optional = {
+        key: merge(values)
+        for key, values in groups.items()
+        if key not in universal
+    }
+    return ObjectTuple(required, optional)
+
+
+def merge_array_coll(merge, arrays: List[ArrayType]) -> Schema:
+    """Algorithm 2: merge array types as a single-entity collection."""
+    if not arrays:
+        return NEVER
+    elements: List[JsonType] = []
+    max_length = 0
+    for tau in arrays:
+        elements.extend(tau.elements)
+        max_length = max(max_length, len(tau))
+    nested = merge(elements) if elements else NEVER
+    return ArrayCollection(nested, max_length_seen=max_length)
+
+
+def merge_k(types: Iterable[JsonType]) -> Schema:
+    """Algorithm 1: the K-reduction of a bag of types."""
+    materialized = list(types)
+    if not materialized:
+        raise EmptyInputError("merge_k: no input types")
+    primitive_kinds: List[Kind] = []
+    arrays: List[ArrayType] = []
+    objects: List[ObjectType] = []
+    for tau in materialized:
+        if isinstance(tau, PrimitiveType):
+            if tau.kind not in primitive_kinds:
+                primitive_kinds.append(tau.kind)
+        elif isinstance(tau, ArrayType):
+            arrays.append(tau)
+        else:
+            objects.append(tau)
+    branches: List[Schema] = [
+        PRIMITIVE_SCHEMAS[kind] for kind in primitive_kinds
+    ]
+    if arrays:
+        branches.append(merge_array_coll(merge_k, arrays))
+    if objects:
+        branches.append(merge_object_tuple(merge_k, objects))
+    return union(*branches)
+
+
+def merge_k_schemas(first: Schema, second: Schema) -> Schema:
+    """The associative combine operator over K-reduce schemas.
+
+    Only the shapes K-reduction produces are supported: primitives,
+    ``ArrayCollection``, ``ObjectTuple``, and unions thereof.  The
+    operation is commutative and associative, and satisfies
+    ``merge_k(R1 + R2) == fold(merge_k_schemas, map(merge_k, [R1, R2]))``.
+    """
+    if first is NEVER:
+        return second
+    if second is NEVER:
+        return first
+    branches_first = _k_branches(first)
+    branches_second = _k_branches(second)
+    primitives: List[Schema] = []
+    arrays: List[ArrayCollection] = []
+    objects: List[ObjectTuple] = []
+    for branch in branches_first + branches_second:
+        if isinstance(branch, PrimitiveSchema):
+            if branch not in primitives:
+                primitives.append(branch)
+        elif isinstance(branch, ArrayCollection):
+            arrays.append(branch)
+        elif isinstance(branch, ObjectTuple):
+            objects.append(branch)
+        else:
+            raise UnsupportedSchemaError(
+                f"merge_k_schemas: unexpected branch {branch!r}"
+            )
+    combined: List[Schema] = list(primitives)
+    if arrays:
+        element = NEVER
+        max_length = 0
+        for node in arrays:
+            element = merge_k_schemas(element, node.element)
+            max_length = max(max_length, node.max_length_seen)
+        combined.append(ArrayCollection(element, max_length_seen=max_length))
+    if objects:
+        combined.append(_combine_object_tuples(objects))
+    return union(*combined)
+
+
+def _k_branches(schema: Schema) -> List[Schema]:
+    if isinstance(schema, Union):
+        return list(schema.branches)
+    return [schema]
+
+
+def _combine_object_tuples(tuples: List[ObjectTuple]) -> ObjectTuple:
+    """Fold object tuples: required = required-in-all, rest optional."""
+    required_keys = set(tuples[0].required_keys)
+    field_schemas: Dict[str, Schema] = {}
+    for node in tuples:
+        # A key missing from (or optional in) any input tuple is optional.
+        required_keys &= node.required_keys
+        for key, child in node.required + node.optional:
+            existing = field_schemas.get(key, NEVER)
+            field_schemas[key] = merge_k_schemas(existing, child)
+    required = {
+        key: child
+        for key, child in field_schemas.items()
+        if key in required_keys
+    }
+    optional = {
+        key: child
+        for key, child in field_schemas.items()
+        if key not in required_keys
+    }
+    return ObjectTuple(required, optional)
+
+
+class KReduce(Discoverer):
+    """The K-reduction as a :class:`Discoverer`."""
+
+    name = "k-reduce"
+
+    def merge_types(self, types: Iterable[JsonType]) -> Schema:
+        return merge_k(types)
+
+
+register_discoverer(KReduce.name, KReduce)

@@ -1,0 +1,42 @@
+"""L-reduction: naive schema discovery (Section 2.1).
+
+``merge_naive(R) = { τ1, ..., τN }`` — the schema is exactly the set of
+distinct types observed.  Maximum precision (it admits nothing it has
+not seen), minimum recall (it rejects everything it has not seen), and
+not compact.  The paper uses it as the precision lower bound in Table 2
+and the recall cautionary tale in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.discovery.base import Discoverer, register_discoverer
+from repro.errors import EmptyInputError
+from repro.jsontypes.types import JsonType
+from repro.schema.nodes import Schema, exact_schema, union_of
+
+
+def merge_naive(types: Iterable[JsonType]) -> Schema:
+    """The L-reduction: a union of the distinct exact types."""
+    distinct: List[JsonType] = []
+    seen = set()
+    for tau in types:
+        if tau not in seen:
+            seen.add(tau)
+            distinct.append(tau)
+    if not distinct:
+        raise EmptyInputError("merge_naive: no input types")
+    return union_of(exact_schema(tau) for tau in distinct)
+
+
+class LReduce(Discoverer):
+    """The L-reduction as a :class:`Discoverer`."""
+
+    name = "l-reduce"
+
+    def merge_types(self, types: Iterable[JsonType]) -> Schema:
+        return merge_naive(types)
+
+
+register_discoverer(LReduce.name, LReduce)

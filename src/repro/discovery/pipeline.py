@@ -1,0 +1,399 @@
+"""The staged three-pass JXPLAIN pipeline (Section 4.2, Figure 3).
+
+Pass ① folds a :class:`~repro.discovery.stat_tree.StatTree` over the
+partitioned data and derives collection/tuple designations per path.
+Pass ② collects the distinct key-sets (objects) and lengths (arrays)
+at every tuple-designated path and compiles them — via the configured
+Bimax strategy — into deterministic :class:`EntityPartitioner`\\ s.
+Pass ③ synthesizes the schema; with the heuristic answers fixed it is
+an associative fold (:mod:`repro.discovery.fold`) run through the
+engine's ``tree_aggregate``.
+
+Every pass is timed (:class:`~repro.engine.StageTimer`) and counted
+(the dataset's scan counter), which is what the Table 5 runtime bench
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union as TUnion
+
+from repro.discovery.base import Discoverer
+from repro.discovery.config import FeatureMode, JxplainConfig
+from repro.discovery.fold import DecidedFolder, FoldNode
+from repro.discovery.jxplain import JxplainMerger, cluster_key_sets
+from repro.discovery.stat_tree import (
+    CollectionDecisions,
+    StatTree,
+    decide_collections,
+)
+from repro.engine.dataset import LocalDataset
+from repro.engine.instrument import StageTimer
+from repro.entities.partitioner import EntityPartitioner
+from repro.errors import EmptyInputError
+from repro.heuristics.collection import CollectionEvidence, Designation
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.paths import Path, ROOT, STAR
+from repro.jsontypes.types import (
+    ArrayType,
+    JsonType,
+    JsonValue,
+    ObjectType,
+    type_of,
+)
+from repro.schema.nodes import Schema
+
+
+class FeatureExtractor:
+    """Computes record feature vectors under global pass-① decisions.
+
+    In ``PATHS`` mode a record's features are all of its paths, pruned
+    beneath paths the decisions designate as collections (the §6.4
+    optimisation); in ``KEYS`` mode, just the top-level key set.
+    Relative collection-path sets are cached per base path.
+    """
+
+    def __init__(
+        self, decisions: CollectionDecisions, config: JxplainConfig
+    ):
+        self._decisions = decisions
+        self._config = config
+        self._cache: Dict[Path, frozenset] = {}
+
+    def relative_collections(self, base: Path) -> frozenset:
+        """Collection paths beneath ``base``, relative to it."""
+        cached = self._cache.get(base)
+        if cached is None:
+            offset = len(base)
+            cached = frozenset(
+                path[offset:]
+                for (path, _kind), designation in self._decisions.items()
+                if designation is Designation.COLLECTION
+                and len(path) > offset
+                and path[:offset] == base
+            )
+            self._cache[base] = cached
+        return cached
+
+    def features(self, tau: ObjectType, base: Path) -> frozenset:
+        if self._config.feature_mode is FeatureMode.KEYS:
+            return tau.key_set()
+        from repro.entities.features import type_paths
+
+        return type_paths(
+            tau,
+            collection_paths=self.relative_collections(base),
+            prune_nested=True,
+        )
+
+
+def _deterministic_feature_order(feature_sets: Set[frozenset]) -> List[frozenset]:
+    """Stable ordering of feature sets (sets iterate hash-ordered)."""
+    return sorted(
+        feature_sets,
+        key=lambda fs: (len(fs), tuple(sorted(repr(f) for f in fs))),
+    )
+
+
+@dataclass
+class TupleShapes:
+    """Pass ②'s accumulator: observed shapes at tuple-designated paths.
+
+    Merges associatively (set unions), so it folds over partitions.
+    """
+
+    object_features: Dict[Path, Set[frozenset]] = field(default_factory=dict)
+    array_lengths: Dict[Path, Set[int]] = field(default_factory=dict)
+
+    def add(
+        self,
+        tau: JsonType,
+        decisions: CollectionDecisions,
+        extractor: FeatureExtractor,
+    ) -> None:
+        self._walk(tau, ROOT, decisions, extractor)
+
+    def _walk(
+        self,
+        tau: JsonType,
+        path: Path,
+        decisions: CollectionDecisions,
+        extractor: FeatureExtractor,
+    ) -> None:
+        if isinstance(tau, ObjectType):
+            designation = decisions.get((path, Kind.OBJECT))
+            if designation is Designation.COLLECTION:
+                for _, value in tau.items():
+                    self._walk(value, path + (STAR,), decisions, extractor)
+            else:
+                self.object_features.setdefault(path, set()).add(
+                    extractor.features(tau, path)
+                )
+                for key, value in tau.items():
+                    self._walk(value, path + (key,), decisions, extractor)
+        elif isinstance(tau, ArrayType):
+            designation = decisions.get((path, Kind.ARRAY))
+            if designation is Designation.TUPLE:
+                self.array_lengths.setdefault(path, set()).add(len(tau))
+                for index, value in enumerate(tau.elements):
+                    self._walk(value, path + (index,), decisions, extractor)
+            else:
+                for value in tau.elements:
+                    self._walk(value, path + (STAR,), decisions, extractor)
+
+    def merge(self, other: "TupleShapes") -> "TupleShapes":
+        merged = TupleShapes()
+        for source in (self, other):
+            for path, feature_sets in source.object_features.items():
+                merged.object_features.setdefault(path, set()).update(
+                    feature_sets
+                )
+            for path, lengths in source.array_lengths.items():
+                merged.array_lengths.setdefault(path, set()).update(lengths)
+        return merged
+
+
+def build_partitioners(
+    shapes: TupleShapes, config: JxplainConfig
+) -> "tuple[Dict[Path, EntityPartitioner], Dict[Path, EntityPartitioner]]":
+    """Compile pass ②'s shapes into per-path entity partitioners."""
+    object_partitioners: Dict[Path, EntityPartitioner] = {}
+    for path, feature_sets in shapes.object_features.items():
+        clusters = cluster_key_sets(
+            _deterministic_feature_order(feature_sets), config
+        )
+        object_partitioners[path] = EntityPartitioner(clusters)
+    array_partitioners: Dict[Path, EntityPartitioner] = {}
+    for path, lengths in shapes.array_lengths.items():
+        position_sets = [
+            frozenset(str(i) for i in range(length))
+            for length in sorted(lengths)
+        ]
+        clusters = cluster_key_sets(position_sets, config)
+        array_partitioners[path] = EntityPartitioner(clusters)
+    return object_partitioners, array_partitioners
+
+
+class PipelineMerger(JxplainMerger):
+    """Algorithm 4 with the heuristics replaced by pass ①/② lookups.
+
+    Used for testing agreement between the staged pipeline and the
+    associative fold; unseen paths fall back to the local heuristics.
+    """
+
+    def __init__(
+        self,
+        config: JxplainConfig,
+        decisions: CollectionDecisions,
+        object_partitioners: Dict[Path, EntityPartitioner],
+        array_partitioners: Dict[Path, EntityPartitioner],
+        extractor: Optional[FeatureExtractor] = None,
+    ):
+        super().__init__(config)
+        self._decisions = decisions
+        self._object_partitioners = object_partitioners
+        self._array_partitioners = array_partitioners
+        self._extractor = extractor or FeatureExtractor(decisions, config)
+
+    def is_collection(
+        self, kind: Kind, evidence: CollectionEvidence, path: Path
+    ) -> bool:
+        designation = self._decisions.get((path, kind))
+        if designation is None:
+            return super().is_collection(kind, evidence, path)
+        return designation is Designation.COLLECTION
+
+    def partition_objects(
+        self, objects: Sequence[ObjectType], path: Path
+    ) -> List[List[ObjectType]]:
+        partitioner = self._object_partitioners.get(path)
+        if partitioner is None:
+            return super().partition_objects(objects, path)
+        features = [
+            self._extractor.features(tau, path) for tau in objects
+        ]
+        return partitioner.non_empty_groups(list(objects), features)
+
+    def partition_arrays(
+        self, arrays: Sequence[ArrayType], path: Path
+    ) -> List[List[ArrayType]]:
+        partitioner = self._array_partitioners.get(path)
+        if partitioner is None:
+            return super().partition_arrays(arrays, path)
+        key_sets = [
+            frozenset(str(i) for i in range(len(tau))) for tau in arrays
+        ]
+        return partitioner.non_empty_groups(list(arrays), key_sets)
+
+
+@dataclass
+class PipelineResult:
+    """Everything the staged pipeline produced."""
+
+    schema: Schema
+    decisions: CollectionDecisions
+    object_partitioners: Dict[Path, EntityPartitioner]
+    array_partitioners: Dict[Path, EntityPartitioner]
+    timer: StageTimer
+    record_count: int
+
+    @property
+    def collection_paths(self) -> frozenset:
+        return frozenset(
+            path
+            for (path, _), designation in self.decisions.items()
+            if designation is Designation.COLLECTION
+        )
+
+
+class JxplainPipeline(Discoverer):
+    """The distributable JXPLAIN of Section 4.2 (Figure 3)."""
+
+    name = "jxplain-pipeline"
+
+    def __init__(
+        self,
+        config: Optional[JxplainConfig] = None,
+        *,
+        num_partitions: int = 4,
+        use_fold: bool = True,
+        heuristic_sample: Optional[float] = None,
+        sample_seed: int = 0,
+    ):
+        """``heuristic_sample`` enables §4.2's sampling mitigation:
+        passes ① and ② run on a Bernoulli sample of that fraction,
+        while pass ③ still synthesizes over the full data.  Paths that
+        only occur outside the sample fall back to the
+        data-independent defaults (objects tuple, arrays collection).
+        """
+        self.config = config or JxplainConfig()
+        self.config.validate()
+        self.num_partitions = num_partitions
+        self.use_fold = use_fold
+        if heuristic_sample is not None and not 0.0 < heuristic_sample <= 1.0:
+            raise ValueError("heuristic_sample must be in (0, 1]")
+        self.heuristic_sample = heuristic_sample
+        self.sample_seed = sample_seed
+
+    # -- the three passes ------------------------------------------------------
+
+    def run(
+        self, data: TUnion[LocalDataset, Iterable[JsonValue]]
+    ) -> PipelineResult:
+        """Run all three passes and return schema + diagnostics."""
+        timer = StageTimer()
+        if isinstance(data, LocalDataset):
+            dataset = data
+        else:
+            dataset = LocalDataset.from_records(
+                list(data), self.num_partitions
+            )
+        if dataset.is_empty():
+            raise EmptyInputError("pipeline: no input records")
+        with timer.stage("parse"):
+            types = dataset.map(self._ensure_type)
+        if self.heuristic_sample is not None and self.heuristic_sample < 1.0:
+            heuristic_types = types.sample(
+                self.heuristic_sample, seed=self.sample_seed
+            )
+            if heuristic_types.is_empty():
+                heuristic_types = types
+        else:
+            heuristic_types = types
+        with timer.stage("pass1-collections"):
+            depth = self.config.similarity_depth
+            tree = heuristic_types.tree_aggregate(
+                lambda: StatTree(similarity_depth=depth),
+                lambda acc, tau: _stat_add(acc, tau),
+                lambda a, b: a.merge(b),
+            )
+            decisions = decide_collections(tree, self.config)
+        extractor = FeatureExtractor(decisions, self.config)
+        with timer.stage("pass2-entities"):
+            shapes = heuristic_types.tree_aggregate(
+                TupleShapes,
+                lambda acc, tau: _shape_add(acc, tau, decisions, extractor),
+                lambda a, b: a.merge(b),
+            )
+            object_partitioners, array_partitioners = build_partitioners(
+                shapes, self.config
+            )
+        with timer.stage("pass3-synthesis"):
+            folder = DecidedFolder(
+                decisions,
+                object_partitioners,
+                array_partitioners,
+                self.config,
+                extractor=extractor,
+            )
+            if self.use_fold:
+                node = types.tree_aggregate(
+                    FoldNode,
+                    lambda acc, tau: folder.combine(acc, folder.lift(tau)),
+                    folder.combine,
+                )
+                schema = folder.schema(node)
+            else:
+                merger = PipelineMerger(
+                    self.config,
+                    decisions,
+                    object_partitioners,
+                    array_partitioners,
+                    extractor=extractor,
+                )
+                schema = merger.merge(types.collect())
+        return PipelineResult(
+            schema=schema,
+            decisions=decisions,
+            object_partitioners=object_partitioners,
+            array_partitioners=array_partitioners,
+            timer=timer,
+            record_count=(
+                _tree_record_count(tree)
+                if heuristic_types is types
+                else types.count()
+            ),
+        )
+
+    @staticmethod
+    def _ensure_type(record: TUnion[JsonType, JsonValue]) -> JsonType:
+        if isinstance(record, JsonType):
+            return record
+        return type_of(record)
+
+    # -- Discoverer interface ------------------------------------------------------
+
+    def merge_types(self, types: Iterable[JsonType]) -> Schema:
+        return self.run(LocalDataset.from_records(
+            list(types), self.num_partitions
+        )).schema
+
+    def discover(self, values: Iterable[JsonValue]) -> Schema:
+        return self.run(values).schema
+
+
+def _tree_record_count(tree: StatTree) -> int:
+    """Root record count, recovered from pass ①'s statistics so the
+    pipeline does not need an extra counting pass."""
+    count = sum(tree.primitive_kinds.values())
+    if tree.object_evidence is not None:
+        count += tree.object_evidence.record_count
+    if tree.array_evidence is not None:
+        count += tree.array_evidence.record_count
+    return count
+
+
+def _stat_add(tree: StatTree, tau: JsonType) -> StatTree:
+    tree.add(tau)
+    return tree
+
+
+def _shape_add(
+    shapes: TupleShapes,
+    tau: JsonType,
+    decisions: CollectionDecisions,
+    extractor: FeatureExtractor,
+) -> TupleShapes:
+    shapes.add(tau, decisions, extractor)
+    return shapes

@@ -1,0 +1,148 @@
+"""Incremental (streaming) schema discovery.
+
+The paper's monitoring scenario is continuous: events keep arriving.
+Re-running discovery from scratch per batch wastes the work already
+done; this module maintains a schema incrementally:
+
+* :class:`StreamingKReduce` — exact: K-reduction distributes over
+  union, so folding each record (or each already-merged batch schema)
+  with ``merge_k_schemas`` gives *exactly* the batch K-reduce schema at
+  every point in the stream.
+* :class:`StreamingJxplain` — JXPLAIN's heuristics need global
+  statistics, so exact streaming is impossible (that is §4.2's whole
+  point).  Instead the stream is absorbed into the mergeable pass-①/②
+  accumulators (stat tree + shapes) continuously, and the schema is
+  re-synthesized lazily — either on demand or whenever a configurable
+  number of *novel* records (records the current schema rejects)
+  accumulates.  Between synthesis points the current schema plus the
+  novelty buffer answer validation queries.
+
+Both expose ``observe`` / ``observe_many`` / ``current_schema``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.discovery.config import JxplainConfig
+from repro.discovery.jxplain import JxplainMerger
+from repro.discovery.kreduce import merge_k, merge_k_schemas
+from repro.errors import EmptyInputError
+from repro.jsontypes.types import JsonType, JsonValue, type_of
+from repro.schema.nodes import NEVER, Schema
+
+
+class StreamingKReduce:
+    """Exact incremental K-reduction via the associative fold."""
+
+    def __init__(self) -> None:
+        self._schema: Schema = NEVER
+        self._count = 0
+
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+    def observe(self, record: JsonValue) -> Schema:
+        """Fold one record in; returns the updated schema."""
+        self._schema = merge_k_schemas(
+            self._schema, merge_k([type_of(record)])
+        )
+        self._count += 1
+        return self._schema
+
+    def observe_many(self, records: Iterable[JsonValue]) -> Schema:
+        for record in records:
+            self.observe(record)
+        return self._schema
+
+    def current_schema(self) -> Schema:
+        if self._count == 0:
+            raise EmptyInputError("no records observed yet")
+        return self._schema
+
+    def merge_with(self, other: "StreamingKReduce") -> "StreamingKReduce":
+        """Combine two independently-fed streams (associativity)."""
+        merged = StreamingKReduce()
+        merged._schema = merge_k_schemas(self._schema, other._schema)
+        merged._count = self._count + other._count
+        return merged
+
+
+class StreamingJxplain:
+    """Incremental JXPLAIN: buffer novelty, re-synthesize on demand.
+
+    ``resynthesize_after`` controls laziness: after that many *novel*
+    records (ones the current schema rejects) the schema is rebuilt
+    from all retained types.  ``max_retained`` bounds memory by keeping
+    a uniform-ish reservoir of representative types (novel records are
+    always retained; duplicates of known types are dropped — type
+    equality makes this cheap).
+    """
+
+    def __init__(
+        self,
+        config: Optional[JxplainConfig] = None,
+        *,
+        resynthesize_after: int = 32,
+        max_retained: int = 50_000,
+    ):
+        if resynthesize_after <= 0:
+            raise ValueError("resynthesize_after must be positive")
+        self.config = config or JxplainConfig()
+        self.resynthesize_after = resynthesize_after
+        self.max_retained = max_retained
+        self._types: List[JsonType] = []
+        self._seen: set = set()
+        self._schema: Optional[Schema] = None
+        self._novel_since_synthesis = 0
+        self._count = 0
+
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+    @property
+    def retained_types(self) -> int:
+        return len(self._types)
+
+    def observe(self, record: JsonValue) -> bool:
+        """Absorb one record; returns True if it was novel.
+
+        Novel = its exact type was never seen AND the current schema
+        (if any) rejects it.
+        """
+        self._count += 1
+        tau = type_of(record)
+        if tau in self._seen:
+            return False
+        self._seen.add(tau)
+        if len(self._types) < self.max_retained:
+            self._types.append(tau)
+        novel = self._schema is None or not self._schema.admits_type(tau)
+        if novel:
+            self._novel_since_synthesis += 1
+            if self._novel_since_synthesis >= self.resynthesize_after:
+                self._synthesize()
+        return novel
+
+    def observe_many(self, records: Iterable[JsonValue]) -> int:
+        """Absorb records; returns how many were novel."""
+        return sum(1 for record in records if self.observe(record))
+
+    def _synthesize(self) -> None:
+        merger = JxplainMerger(self.config)
+        self._schema = merger.merge(self._types)
+        self._novel_since_synthesis = 0
+
+    def current_schema(self) -> Schema:
+        """The up-to-date schema (synthesizing if novelty is pending)."""
+        if not self._types:
+            raise EmptyInputError("no records observed yet")
+        if self._schema is None or self._novel_since_synthesis:
+            self._synthesize()
+        return self._schema
+
+    def validates(self, record: JsonValue) -> bool:
+        """Would the current schema accept this record?"""
+        return self.current_schema().admits_type(type_of(record))

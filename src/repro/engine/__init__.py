@@ -1,0 +1,11 @@
+"""Partitioned dataflow substrate and instrumentation (Spark stand-in)."""
+
+from repro.engine.dataset import DEFAULT_PARTITIONS, LocalDataset
+from repro.engine.instrument import StageTimer, deep_size_bytes
+
+__all__ = [
+    "DEFAULT_PARTITIONS",
+    "LocalDataset",
+    "StageTimer",
+    "deep_size_bytes",
+]

@@ -1,0 +1,218 @@
+"""A small partitioned dataflow substrate (the paper's Spark stand-in).
+
+The paper implements both extractors on Apache Spark; what the
+algorithms actually require from Spark is narrow:
+
+* partitioned record storage with ``map`` / ``filter`` / sampling;
+* associative fan-in aggregation (``aggregate`` / ``treeAggregate``)
+  for single-pass statistics and for K-reduction's fold;
+* a way to count passes over the data, since JXPLAIN's whole overhead
+  story (Table 5) is "it takes extra passes".
+
+:class:`LocalDataset` provides exactly that surface over in-memory
+partitions.  Every full traversal increments ``scans``, so tests and
+benchmarks can assert pass counts (K-reduce: 1 pass; staged JXPLAIN:
+3 passes, per Figure 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.errors import EngineError
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: Default number of partitions for new datasets.
+DEFAULT_PARTITIONS = 4
+
+
+class LocalDataset(Generic[T]):
+    """An immutable, partitioned, in-memory dataset."""
+
+    def __init__(
+        self,
+        partitions: List[List[T]],
+        *,
+        _scan_counter: Optional[List[int]] = None,
+    ):
+        if not partitions:
+            partitions = [[]]
+        self._partitions = partitions
+        # The scan counter is shared across derived datasets so that a
+        # whole pipeline's pass count accumulates in one place.
+        self._scan_counter = _scan_counter if _scan_counter is not None else [0]
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[T], num_partitions: int = DEFAULT_PARTITIONS
+    ) -> "LocalDataset[T]":
+        """Round-robin the records into ``num_partitions`` partitions."""
+        if num_partitions <= 0:
+            raise EngineError("num_partitions must be positive")
+        partitions: List[List[T]] = [[] for _ in range(num_partitions)]
+        for index, record in enumerate(records):
+            partitions[index % num_partitions].append(record)
+        return cls(partitions)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def scans(self) -> int:
+        """Number of full passes made over this dataset's lineage."""
+        return self._scan_counter[0]
+
+    def count(self) -> int:
+        self._note_scan()
+        return sum(len(partition) for partition in self._partitions)
+
+    def collect(self) -> List[T]:
+        self._note_scan()
+        out: List[T] = []
+        for partition in self._partitions:
+            out.extend(partition)
+        return out
+
+    def is_empty(self) -> bool:
+        return all(not partition for partition in self._partitions)
+
+    def _note_scan(self) -> None:
+        self._scan_counter[0] += 1
+
+    def __iter__(self) -> Iterator[T]:
+        for partition in self._partitions:
+            yield from partition
+
+    # -- transformations (eager, scan-counted) --------------------------------
+
+    def map(self, fn: Callable[[T], U]) -> "LocalDataset[U]":
+        self._note_scan()
+        return LocalDataset(
+            [[fn(item) for item in partition] for partition in self._partitions],
+            _scan_counter=self._scan_counter,
+        )
+
+    def filter(self, predicate: Callable[[T], bool]) -> "LocalDataset[T]":
+        self._note_scan()
+        return LocalDataset(
+            [
+                [item for item in partition if predicate(item)]
+                for partition in self._partitions
+            ],
+            _scan_counter=self._scan_counter,
+        )
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "LocalDataset[U]":
+        self._note_scan()
+        return LocalDataset(
+            [
+                [out for item in partition for out in fn(item)]
+                for partition in self._partitions
+            ],
+            _scan_counter=self._scan_counter,
+        )
+
+    def map_partitions(
+        self, fn: Callable[[List[T]], List[U]]
+    ) -> "LocalDataset[U]":
+        self._note_scan()
+        return LocalDataset(
+            [fn(list(partition)) for partition in self._partitions],
+            _scan_counter=self._scan_counter,
+        )
+
+    def union(self, other: "LocalDataset[T]") -> "LocalDataset[T]":
+        return LocalDataset(
+            [list(p) for p in self._partitions]
+            + [list(p) for p in other._partitions],
+            _scan_counter=self._scan_counter,
+        )
+
+    def sample(self, fraction: float, seed: int = 0) -> "LocalDataset[T]":
+        """Uniform Bernoulli sample, deterministic under ``seed``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise EngineError("fraction must be within [0, 1]")
+        self._note_scan()
+        rng = random.Random(seed)
+        return LocalDataset(
+            [
+                [item for item in partition if rng.random() < fraction]
+                for partition in self._partitions
+            ],
+            _scan_counter=self._scan_counter,
+        )
+
+    def repartition(self, num_partitions: int) -> "LocalDataset[T]":
+        return LocalDataset.from_records(self.collect(), num_partitions)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def aggregate(
+        self,
+        zero: Callable[[], U],
+        seq_op: Callable[[U, T], U],
+        comb_op: Callable[[U, U], U],
+    ) -> U:
+        """Fold each partition with ``seq_op``, combine with ``comb_op``.
+
+        ``zero`` is a factory so mutable accumulators are safe.
+        """
+        self._note_scan()
+        partials: List[U] = []
+        for partition in self._partitions:
+            acc = zero()
+            for item in partition:
+                acc = seq_op(acc, item)
+            partials.append(acc)
+        result = zero()
+        for partial in partials:
+            result = comb_op(result, partial)
+        return result
+
+    def tree_aggregate(
+        self,
+        zero: Callable[[], U],
+        seq_op: Callable[[U, T], U],
+        comb_op: Callable[[U, U], U],
+    ) -> U:
+        """Like :meth:`aggregate` but with pairwise (fan-in) combining.
+
+        Exercises associativity the way a distributed reduction would:
+        partial results are combined in a balanced binary tree rather
+        than a left fold.
+        """
+        self._note_scan()
+        partials: List[U] = []
+        for partition in self._partitions:
+            acc = zero()
+            for item in partition:
+                acc = seq_op(acc, item)
+            partials.append(acc)
+        if not partials:
+            return zero()
+        while len(partials) > 1:
+            combined: List[U] = []
+            for index in range(0, len(partials) - 1, 2):
+                combined.append(comb_op(partials[index], partials[index + 1]))
+            if len(partials) % 2:
+                combined.append(partials[-1])
+            partials = combined
+        return partials[0]
+
+    def reduce(self, comb_op: Callable[[T, T], T]) -> T:
+        """Pairwise reduction of a non-empty dataset."""
+        items = self.collect()
+        if not items:
+            raise EngineError("cannot reduce an empty dataset")
+        result = items[0]
+        for item in items[1:]:
+            result = comb_op(result, item)
+        return result

@@ -1,0 +1,92 @@
+"""Instrumentation: timers, pass counters, and memory estimation.
+
+Table 5 (runtime) and Figure 5 (memory) both need honest, repeatable
+measurement.  :class:`StageTimer` collects wall-clock per named stage;
+:func:`deep_size_bytes` estimates the resident size of nested Python
+structures (with cycle protection and shared-object deduplication).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+
+class StageTimer:
+    """Accumulates wall-clock time per named pipeline stage."""
+
+    def __init__(self) -> None:
+        self._elapsed: "OrderedDict[str, float]" = OrderedDict()
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._elapsed[name] = self._elapsed.get(name, 0.0) + duration
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        return self._elapsed.get(name, 0.0)
+
+    def milliseconds(self, name: str) -> float:
+        return 1000.0 * self.seconds(name)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._elapsed.values())
+
+    @property
+    def total_milliseconds(self) -> float:
+        return 1000.0 * self.total_seconds
+
+    def rows(self) -> List[Tuple[str, float, int]]:
+        """(stage, milliseconds, invocation count) per stage, in order."""
+        return [
+            (name, 1000.0 * elapsed, self._counts[name])
+            for name, elapsed in self._elapsed.items()
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(
+            f"{name}={1000.0 * elapsed:.1f}ms"
+            for name, elapsed in self._elapsed.items()
+        )
+        return f"<StageTimer {body}>"
+
+
+def deep_size_bytes(obj: object) -> int:
+    """Approximate recursive ``sys.getsizeof`` with sharing awareness.
+
+    Each distinct object (by identity) is counted once, so aliased
+    substructures — interned strings, shared tuples — do not inflate
+    the estimate.
+    """
+    seen: set = set()
+    stack: List[object] = [obj]
+    total = 0
+    while stack:
+        current = stack.pop()
+        identity = id(current)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        total += sys.getsizeof(current)
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+        elif hasattr(current, "__dict__"):
+            stack.append(current.__dict__)
+        elif hasattr(current, "__slots__"):
+            for slot in current.__slots__:
+                if hasattr(current, slot):
+                    stack.append(getattr(current, slot))
+    return total

@@ -1,0 +1,67 @@
+"""Entity discovery: Bimax bi-clustering, GreedyMerge, baselines.
+
+Implements Section 6 of the paper: Algorithm 6 (Bimax ordering),
+Algorithm 7 (Bimax-Naive clustering), Algorithm 8 (GreedyMerge), the
+k-means baseline of Section 7.3, the feature-vector preprocessing of
+Section 6.4, and the deterministic record→entity partitioner.
+"""
+
+from repro.entities.bimax import (
+    EntityCluster,
+    KeySet,
+    bimax_naive,
+    bimax_order,
+    block_boundaries,
+)
+from repro.entities.features import (
+    FeatureMemoryProfile,
+    FeatureVector,
+    FeatureVectorSet,
+    extract_feature_vectors,
+    feature_memory_profile,
+    top_level_key_set,
+    type_paths,
+)
+from repro.entities.greedy_merge import (
+    bimax_merge,
+    greedy_merge,
+    merge_to_fixpoint,
+)
+from repro.entities.kmeans import (
+    KMeansResult,
+    encode_key_sets,
+    kmeans_clusters,
+    kmeans_key_sets,
+)
+from repro.entities.partitioner import EntityPartitioner
+from repro.entities.set_cover import (
+    cover_exists,
+    greedy_set_cover,
+    minimal_cover_size,
+)
+
+__all__ = [
+    "EntityCluster",
+    "EntityPartitioner",
+    "FeatureMemoryProfile",
+    "FeatureVector",
+    "FeatureVectorSet",
+    "KMeansResult",
+    "KeySet",
+    "bimax_merge",
+    "bimax_naive",
+    "bimax_order",
+    "block_boundaries",
+    "cover_exists",
+    "encode_key_sets",
+    "extract_feature_vectors",
+    "feature_memory_profile",
+    "greedy_merge",
+    "merge_to_fixpoint",
+    "greedy_set_cover",
+    "kmeans_clusters",
+    "kmeans_key_sets",
+    "minimal_cover_size",
+    "top_level_key_set",
+    "type_paths",
+]

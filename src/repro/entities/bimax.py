@@ -1,0 +1,143 @@
+"""Bimax bi-clustering (Section 6.2, Algorithms 6 and 7).
+
+Bimax — borrowed from gene-expression analysis (Prelic et al.) — sorts
+a list of key-sets so that similar sets end up adjacent, using only
+subset/superset structure and never a distance measure.  That makes it
+robust to entity-size skew, the failure mode of Jaccard-style measures
+illustrated by the paper's Example 9.
+
+:func:`bimax_order` is Algorithm 6 (the reordering);
+:func:`bimax_naive` is Algorithm 7, which additionally emits each
+``K_sub`` block — the seed set and all of its subsets — as one entity
+cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+#: A feature set: record keys (strings) or record paths (tuples),
+#: depending on the configured feature mode.  Any hashable works.
+KeySet = FrozenSet
+
+
+@dataclass
+class EntityCluster:
+    """One discovered entity: a seed key-set and its member key-sets.
+
+    ``maximal`` is the entity's maximal element — every member is a
+    subset of it.  Bimax-Naive seeds it with the largest key-set of the
+    block; GreedyMerge may later *synthesize* a larger one by unioning
+    covers (tracked by ``synthesized``).
+    """
+
+    maximal: KeySet
+    members: List[KeySet] = field(default_factory=list)
+    synthesized: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.maximal)
+
+    def __contains__(self, key_set: KeySet) -> bool:
+        return key_set in self.members
+
+    def covers(self, key_set: KeySet) -> bool:
+        """Is ``key_set`` within this entity's maximal element?"""
+        return key_set <= self.maximal
+
+
+def _sorted_by_size(key_sets: Iterable[KeySet]) -> List[KeySet]:
+    """Descending size; ties broken by sorted key reprs for determinism.
+
+    Keys are sorted by ``repr`` because feature vectors may mix key
+    types (strings, array positions, path tuples), which are not
+    mutually ordered.
+    """
+    return sorted(
+        key_sets,
+        key=lambda ks: (-len(ks), tuple(sorted(repr(k) for k in ks))),
+    )
+
+
+def bimax_order(key_sets: Sequence[KeySet]) -> List[KeySet]:
+    """Algorithm 6: reorder key-sets so similar sets are adjacent.
+
+    Repeatedly takes the current head ``k_max`` and stably rearranges
+    the remainder as (subsets of ``k_max``) < (overlapping) <
+    (disjoint), then advances past the subset block.
+    """
+    ordering = _sorted_by_size(key_sets)
+    index = 0
+    while index < len(ordering):
+        k_max = ordering[index]
+        subsets: List[KeySet] = []
+        overlap: List[KeySet] = []
+        disjoint: List[KeySet] = []
+        for key_set in ordering[index:]:
+            if key_set <= k_max:
+                subsets.append(key_set)
+            elif not (key_set & k_max):
+                disjoint.append(key_set)
+            else:
+                overlap.append(key_set)
+        ordering[index:] = subsets + overlap + disjoint
+        index += len(subsets)
+    return ordering
+
+
+def bimax_naive(key_sets: Sequence[KeySet]) -> List[EntityCluster]:
+    """Algorithm 7: cluster key-sets into subset-blocks.
+
+    Returns clusters in emission (insertion) order.  Each cluster's
+    maximal element is its seed — the largest key-set of its block —
+    and its members are that seed's subsets from the remaining input.
+    Duplicates in the input collapse (a bag of identical key-sets forms
+    a single member).
+    """
+    ordering = bimax_order(_distinct(key_sets))
+    clusters: List[EntityCluster] = []
+    index = 0
+    while index < len(ordering):
+        k_max = ordering[index]
+        subsets: List[KeySet] = []
+        overlap: List[KeySet] = []
+        disjoint: List[KeySet] = []
+        for key_set in ordering[index:]:
+            if key_set <= k_max:
+                subsets.append(key_set)
+            elif not (key_set & k_max):
+                disjoint.append(key_set)
+            else:
+                overlap.append(key_set)
+        ordering[index:] = subsets + overlap + disjoint
+        clusters.append(EntityCluster(maximal=k_max, members=list(subsets)))
+        index += len(subsets)
+    return clusters
+
+
+def _distinct(key_sets: Iterable[KeySet]) -> List[KeySet]:
+    seen = set()
+    unique: List[KeySet] = []
+    for key_set in key_sets:
+        frozen = frozenset(key_set)
+        if frozen not in seen:
+            seen.add(frozen)
+            unique.append(frozen)
+    return unique
+
+
+def block_boundaries(key_sets: Sequence[KeySet]) -> List[Tuple[int, int]]:
+    """The ``(start, end)`` spans of each subset block after ordering.
+
+    A convenience for tests and visualisation of the Bimax structure.
+    """
+    clusters = bimax_naive(key_sets)
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for cluster in clusters:
+        end = start + len(cluster.members)
+        spans.append((start, end))
+        start = end
+    return spans

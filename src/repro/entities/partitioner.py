@@ -1,0 +1,92 @@
+"""Deterministic record → entity assignment (Section 4.3).
+
+JXPLAIN's ``partition`` heuristic must output "a deterministic
+algorithm for partitioning input types by entity".
+:class:`EntityPartitioner` is that algorithm: built once from the
+clusters that Bimax-Naive / GreedyMerge discovered, it assigns any
+key-set (including ones never seen in training) to an entity:
+
+1. a key-set that is a member of exactly one cluster goes there;
+2. otherwise, the entity with the *smallest* maximal superset wins
+   (most specific entity that fully explains the record);
+3. otherwise — a record matching no entity — the entity with the
+   largest key overlap wins, with deterministic tie-breaking.
+
+Rule 3 only matters during validation of unseen data; during discovery
+every training key-set belongs to some cluster by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, TypeVar
+
+from repro.entities.bimax import EntityCluster
+
+KeySet = FrozenSet[str]
+T = TypeVar("T")
+
+
+class EntityPartitioner:
+    """Assigns key-sets to the entity clusters they belong to."""
+
+    def __init__(self, clusters: Sequence[EntityCluster]):
+        if not clusters:
+            raise ValueError("partitioner requires at least one cluster")
+        self._clusters = list(clusters)
+        self._member_index: Dict[KeySet, int] = {}
+        for index, cluster in enumerate(self._clusters):
+            for member in cluster.members:
+                self._member_index.setdefault(member, index)
+
+    @property
+    def clusters(self) -> List[EntityCluster]:
+        return list(self._clusters)
+
+    @property
+    def entity_count(self) -> int:
+        return len(self._clusters)
+
+    def assign(self, key_set: KeySet) -> int:
+        """The entity index for ``key_set`` (always succeeds)."""
+        key_set = frozenset(key_set)
+        direct = self._member_index.get(key_set)
+        if direct is not None:
+            return direct
+        best_superset = -1
+        best_superset_size = None
+        for index, cluster in enumerate(self._clusters):
+            if key_set <= cluster.maximal:
+                if (
+                    best_superset_size is None
+                    or cluster.size < best_superset_size
+                ):
+                    best_superset = index
+                    best_superset_size = cluster.size
+        if best_superset >= 0:
+            return best_superset
+        best_overlap = -1
+        best_index = 0
+        for index, cluster in enumerate(self._clusters):
+            overlap = len(key_set & cluster.maximal)
+            if overlap > best_overlap or (
+                overlap == best_overlap
+                and cluster.size < self._clusters[best_index].size
+            ):
+                best_overlap = overlap
+                best_index = index
+        return best_index
+
+    def partition(self, items: Sequence[T], key_sets: Sequence[KeySet]) -> List[List[T]]:
+        """Split ``items`` into per-entity groups by their key-sets."""
+        if len(items) != len(key_sets):
+            raise ValueError("items and key_sets must align")
+        groups: List[List[T]] = [[] for _ in self._clusters]
+        for item, key_set in zip(items, key_sets):
+            groups[self.assign(key_set)].append(item)
+        return groups
+
+    def non_empty_groups(
+        self, items: Sequence[T], key_sets: Sequence[KeySet]
+    ) -> List[List[T]]:
+        """:meth:`partition` with empty groups dropped."""
+        return [g for g in self.partition(items, key_sets) if g]

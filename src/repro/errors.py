@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidJsonValueError(ReproError, TypeError):
+    """A Python value does not correspond to any JSON value.
+
+    Raised by :func:`repro.jsontypes.type_of` when handed a value outside
+    the JSON data model (e.g. a ``set`` or a custom object).
+    """
+
+
+class SchemaConstructionError(ReproError, ValueError):
+    """A schema node was constructed with inconsistent arguments."""
+
+
+class EmptyInputError(ReproError, ValueError):
+    """A discovery algorithm was invoked on an empty collection."""
+
+
+class UnsupportedSchemaError(ReproError, ValueError):
+    """An operation was applied to a schema node it does not support."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset generator was configured with invalid parameters."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """The dataflow engine was used incorrectly."""
+
+
+class RecursionDepthError(ReproError, RecursionError):
+    """A JSON value or schema exceeded the configured nesting depth."""

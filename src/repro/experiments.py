@@ -1,0 +1,247 @@
+"""Programmatic reproduction runner: ``python -m repro.experiments``.
+
+The pytest benches under ``benchmarks/`` are the canonical, asserted
+reproduction; this module exposes the same experiments as a library
+API and a small CLI for users who want the tables without a test
+harness::
+
+    python -m repro.experiments --experiment table1 --datasets pharma synapse
+    python -m repro.experiments --experiment all --scale 0.5 --output report.txt
+
+Each experiment function returns the formatted table text; ``run_all``
+concatenates every table and figure into one report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.datasets import make_dataset
+from repro.discovery import (
+    Jxplain,
+    JxplainNaive,
+    JxplainPipeline,
+    KReduce,
+    LReduce,
+)
+from repro.discovery.stat_tree import StatTree, entropy_profile
+from repro.io.sampling import uniform_sample
+from repro.jsontypes.types import type_of
+from repro.metrics.conciseness import (
+    ConcisenessRow,
+    count_entities,
+    format_conciseness_table,
+)
+from repro.metrics.entity_accuracy import (
+    evaluate_entity_detection,
+    format_entity_table,
+)
+from repro.metrics.recall import format_sweep_table, run_sweep
+
+#: Default record counts (scaled by ``--scale``).
+DEFAULT_SIZES: Dict[str, int] = {
+    "nyt": 800,
+    "synapse": 1000,
+    "twitter": 600,
+    "github": 1000,
+    "pharma": 800,
+    "wikidata": 200,
+    "yelp-merged": 1200,
+    "yelp-business": 800,
+    "yelp-checkin": 800,
+    "yelp-photos": 800,
+    "yelp-review": 800,
+    "yelp-tip": 800,
+    "yelp-user": 800,
+}
+
+SWEEP_DATASETS = [name for name in DEFAULT_SIZES if name != "wikidata"]
+
+FRACTIONS = (0.05, 0.10, 0.50, 0.90)
+TRIALS = 2
+
+
+def _records(dataset: str, scale: float, seed: int = 0) -> list:
+    size = max(30, int(DEFAULT_SIZES[dataset] * scale))
+    return make_dataset(dataset).generate(size, seed=seed)
+
+
+def _sweep(dataset: str, scale: float):
+    discoverers = [KReduce(), Jxplain(), JxplainNaive(), LReduce()]
+    return run_sweep(
+        dataset,
+        _records(dataset, scale),
+        discoverers,
+        fractions=FRACTIONS,
+        trials=TRIALS,
+        seed=13,
+    )
+
+
+def table1_recall(
+    datasets: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> str:
+    """Table 1 — held-out recall per dataset / algorithm / sample."""
+    blocks = []
+    for dataset in datasets or SWEEP_DATASETS:
+        sweep = _sweep(dataset, scale)
+        blocks.append(format_sweep_table(sweep, "recall"))
+    return "\n\n".join(blocks)
+
+
+def table2_entropy(
+    datasets: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> str:
+    """Table 2 — schema entropy per dataset / algorithm / sample."""
+    blocks = []
+    for dataset in datasets or SWEEP_DATASETS:
+        sweep = _sweep(dataset, scale)
+        blocks.append(format_sweep_table(sweep, "entropy", precision=2))
+    return "\n\n".join(blocks)
+
+
+def table3_entities(
+    datasets: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> str:
+    """Table 3 — entity detection vs ground truth."""
+    blocks = []
+    for dataset in datasets or ("yelp-merged", "github"):
+        labeled = make_dataset(dataset).generate_labeled(
+            max(30, int(DEFAULT_SIZES.get(dataset, 800) * scale)), seed=21
+        )
+        results = evaluate_entity_detection(labeled)
+        blocks.append(format_entity_table(results, dataset=dataset))
+    return "\n\n".join(blocks)
+
+
+def table4_conciseness(
+    datasets: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> str:
+    """Table 4 — predicted entity counts at 90% training."""
+    rows: List[ConcisenessRow] = []
+    for dataset in datasets or SWEEP_DATASETS:
+        records = _records(dataset, scale, seed=31)
+        row = ConcisenessRow(dataset=dataset)
+        for trial in range(TRIALS):
+            sample = uniform_sample(records, 0.9, seed=100 + trial)
+            counts = count_entities(sample)
+            row.l_reduce.append(counts["l-reduce"])
+            row.bimax_naive.append(counts["bimax-naive"])
+            row.bimax_merge.append(counts["bimax-merge"])
+        rows.append(row)
+    return format_conciseness_table(rows)
+
+
+def table5_runtime(
+    datasets: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> str:
+    """Table 5 — runtime by algorithm and training fraction."""
+    lines = [
+        "dataset".ljust(14)
+        + "  "
+        + "  ".join(
+            f"{int(f * 100)}%: kreduce   jxplain" for f in FRACTIONS
+        )
+    ]
+    for dataset in datasets or SWEEP_DATASETS:
+        records = _records(dataset, scale, seed=41)
+        cells = [dataset.ljust(14)]
+        for fraction in FRACTIONS:
+            sample = uniform_sample(records, fraction, seed=7)
+            start = time.perf_counter()
+            KReduce().discover(sample)
+            kreduce_ms = 1000.0 * (time.perf_counter() - start)
+            start = time.perf_counter()
+            JxplainPipeline().discover(sample)
+            jxplain_ms = 1000.0 * (time.perf_counter() - start)
+            cells.append(f"{kreduce_ms:9.1f} {jxplain_ms:9.1f}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def figure4_histogram(
+    datasets: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> str:
+    """Figure 4 — key-space entropy histogram across complex paths."""
+    datasets = datasets or ("yelp-merged", "yelp-checkin", "pharma", "twitter")
+    points = []
+    for dataset in datasets:
+        records = _records(dataset, scale, seed=51)
+        tree = StatTree.from_types([type_of(r) for r in records])
+        points.extend(entropy_profile(tree))
+    buckets = ((0.0, 0.1), (0.1, 0.5), (0.5, 1.0), (1.0, 2.0), (2.0, 4.0),
+               (4.0, float("inf")))
+    lines = ["key-space entropy histogram (self-similar complex paths)"]
+    for low, high in buckets:
+        count = sum(1 for p in points if low <= p.entropy < high)
+        label = f"[{low:.1f}, {'inf' if high == float('inf') else f'{high:.1f}'})"
+        lines.append(f"{label:>12}  {'#' * min(count, 60)} {count}")
+    return "\n".join(lines)
+
+
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
+    "table1": table1_recall,
+    "table2": table2_entropy,
+    "table3": table3_entities,
+    "table4": table4_conciseness,
+    "table5": table5_runtime,
+    "figure4": figure4_histogram,
+}
+
+
+def run_all(
+    datasets: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> str:
+    """Every experiment, concatenated into one report."""
+    sections = []
+    for name, runner in EXPERIMENTS.items():
+        sections.append(f"=== {name} ===")
+        sections.append(runner(datasets, scale))
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=sorted(EXPERIMENTS) + ["all"],
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="*",
+        default=None,
+        help="restrict to these datasets (default: the paper's set)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply the default record counts",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the report to this file"
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        report = run_all(args.datasets, args.scale)
+    else:
+        report = EXPERIMENTS[args.experiment](args.datasets, args.scale)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

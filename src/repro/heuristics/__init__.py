@@ -1,0 +1,25 @@
+"""Ambiguity-resolving heuristics (Sections 5 and 6 of the paper)."""
+
+from repro.heuristics.collection import (
+    CollectionEvidence,
+    DEFAULT_ENTROPY_THRESHOLD,
+    Designation,
+    decide_designation,
+    is_collection_arrays,
+    is_collection_objects,
+    key_space_entropy,
+    length_entropy,
+    shannon_entropy,
+)
+
+__all__ = [
+    "CollectionEvidence",
+    "DEFAULT_ENTROPY_THRESHOLD",
+    "Designation",
+    "decide_designation",
+    "is_collection_arrays",
+    "is_collection_objects",
+    "key_space_entropy",
+    "length_entropy",
+    "shannon_entropy",
+]

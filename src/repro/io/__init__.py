@@ -1,0 +1,27 @@
+"""IO: JSON-lines streaming and the paper's sampling protocol."""
+
+from repro.io.jsonlines import load_jsonlines, read_jsonlines, write_jsonlines
+from repro.io.sampling import (
+    PAPER_TEST_FRACTION,
+    PAPER_TRAINING_FRACTIONS,
+    PAPER_TRIALS,
+    TrainTestSplit,
+    paper_protocol,
+    train_test_split,
+    trial_samples,
+    uniform_sample,
+)
+
+__all__ = [
+    "PAPER_TEST_FRACTION",
+    "PAPER_TRAINING_FRACTIONS",
+    "PAPER_TRIALS",
+    "TrainTestSplit",
+    "load_jsonlines",
+    "paper_protocol",
+    "read_jsonlines",
+    "train_test_split",
+    "trial_samples",
+    "uniform_sample",
+    "write_jsonlines",
+]

@@ -1,0 +1,56 @@
+"""JSON-lines reading and writing.
+
+All of the paper's corpora ship as newline-delimited JSON; these
+helpers stream them without materializing the file, tolerate blank
+lines, and surface the offending line number on parse errors.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path as FsPath
+from typing import IO, Iterable, Iterator, Union
+
+from repro.errors import DatasetError
+from repro.jsontypes.types import JsonValue
+
+PathLike = Union[str, FsPath]
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    path = FsPath(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def read_jsonlines(path: PathLike) -> Iterator[JsonValue]:
+    """Stream records from a ``.jsonl`` (optionally ``.gz``) file."""
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                yield json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+
+
+def write_jsonlines(path: PathLike, records: Iterable[JsonValue]) -> int:
+    """Write records as newline-delimited JSON; returns the count."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonlines(path: PathLike) -> list:
+    """Read a whole ``.jsonl`` file into a list."""
+    return list(read_jsonlines(path))

@@ -1,0 +1,77 @@
+"""JSON type system: kinds, immutable types, paths, and similarity.
+
+This package implements the type algebra of Section 2 (Figure 2) of the
+paper, plus the similarity relation of Section 5.2.
+"""
+
+from repro.jsontypes.kinds import COMPLEX_KINDS, Kind, PRIMITIVE_KINDS
+from repro.jsontypes.paths import (
+    Path,
+    PathStep,
+    ROOT,
+    STAR,
+    generalize,
+    iter_type_paths,
+    iter_value_paths,
+    parse_path,
+    render_path,
+    value_at,
+)
+from repro.jsontypes.similarity import (
+    SimilarityAccumulator,
+    all_pairwise_similar,
+    similar,
+    union_types,
+)
+from repro.jsontypes.types import (
+    ArrayType,
+    BOOLEAN,
+    EMPTY_ARRAY,
+    EMPTY_OBJECT,
+    JsonType,
+    JsonValue,
+    MAX_DEPTH,
+    NULL,
+    NUMBER,
+    ObjectType,
+    PRIMITIVES,
+    PrimitiveType,
+    STRING,
+    kind_of,
+    type_of,
+)
+
+__all__ = [
+    "ArrayType",
+    "BOOLEAN",
+    "COMPLEX_KINDS",
+    "EMPTY_ARRAY",
+    "EMPTY_OBJECT",
+    "JsonType",
+    "JsonValue",
+    "Kind",
+    "MAX_DEPTH",
+    "NULL",
+    "NUMBER",
+    "ObjectType",
+    "PRIMITIVES",
+    "PRIMITIVE_KINDS",
+    "Path",
+    "PathStep",
+    "PrimitiveType",
+    "ROOT",
+    "STAR",
+    "STRING",
+    "SimilarityAccumulator",
+    "all_pairwise_similar",
+    "generalize",
+    "iter_type_paths",
+    "iter_value_paths",
+    "kind_of",
+    "parse_path",
+    "render_path",
+    "similar",
+    "type_of",
+    "union_types",
+    "value_at",
+]

@@ -1,0 +1,43 @@
+"""Kinds of JSON types (Figure 2 of the paper).
+
+A *kind* collapses a JSON type to its outermost constructor: one of the
+four primitive kinds, or the symbols ``OBJECT`` / ``ARRAY`` for complex
+types.  Kinds drive the top-level dispatch of every merge algorithm in
+the paper: primitives merge naively, arrays merge as collections or
+tuples, objects merge as tuples or collections.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Kind(enum.Enum):
+    """The kind of a JSON type: ``kind(τ)`` in the paper's notation."""
+
+    BOOLEAN = "boolean"
+    NUMBER = "number"
+    STRING = "string"
+    NULL = "null"
+    OBJECT = "object"
+    ARRAY = "array"
+
+    @property
+    def is_primitive(self) -> bool:
+        """True for the four primitive kinds (𝔹, ℝ, 𝕊, null)."""
+        return self not in (Kind.OBJECT, Kind.ARRAY)
+
+    @property
+    def is_complex(self) -> bool:
+        """True for object and array kinds (O and A in the paper)."""
+        return not self.is_primitive
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Kind.{self.name}"
+
+
+#: The four primitive kinds, in the order the paper lists them.
+PRIMITIVE_KINDS = (Kind.BOOLEAN, Kind.NUMBER, Kind.STRING, Kind.NULL)
+
+#: The two complex kinds.
+COMPLEX_KINDS = (Kind.OBJECT, Kind.ARRAY)

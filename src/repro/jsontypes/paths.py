@@ -1,0 +1,158 @@
+"""Paths into JSON values and types.
+
+A *path* is a sequence of steps from the root of a record down to a
+nested value: object keys (strings), array indices (ints), or the
+wildcard :data:`STAR`, which stands for "any element of a collection".
+Paths label the nodes of the statistics tree used by JXPLAIN's pass ①
+and the features used by entity discovery (Section 6.4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Union
+
+from repro.jsontypes.types import ArrayType, JsonType, JsonValue, ObjectType
+
+
+class _Star:
+    """Singleton wildcard path step: any element of a collection."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+    def __lt__(self, other) -> bool:
+        # Sorts after every concrete step, so rendered paths are stable.
+        return False
+
+    def __gt__(self, other) -> bool:
+        return not isinstance(other, _Star)
+
+
+#: The wildcard step.
+STAR = _Star()
+
+#: One step of a path.
+PathStep = Union[str, int, _Star]
+
+#: A path: a tuple of steps.  The empty tuple is the root path.
+Path = Tuple[PathStep, ...]
+
+#: The root path.
+ROOT: Path = ()
+
+
+def render_path(path: Path) -> str:
+    """Render a path in a compact dotted notation.
+
+    Object keys print as ``.key``, array indices as ``[i]``, and the
+    wildcard as ``[*]``.  The root renders as ``$``.
+    """
+    parts = ["$"]
+    for step in path:
+        if step is STAR:
+            parts.append("[*]")
+        elif isinstance(step, int):
+            parts.append(f"[{step}]")
+        else:
+            parts.append(f".{step}")
+    return "".join(parts)
+
+
+def parse_path(text: str) -> Path:
+    """Parse the dotted notation produced by :func:`render_path`."""
+    if not text.startswith("$"):
+        raise ValueError(f"path must start with '$': {text!r}")
+    steps: list = []
+    i = 1
+    while i < len(text):
+        char = text[i]
+        if char == ".":
+            j = i + 1
+            while j < len(text) and text[j] not in ".[":
+                j += 1
+            key = text[i + 1 : j]
+            if not key:
+                raise ValueError(f"empty key in path: {text!r}")
+            steps.append(key)
+            i = j
+        elif char == "[":
+            j = text.index("]", i)
+            token = text[i + 1 : j]
+            steps.append(STAR if token == "*" else int(token))
+            i = j + 1
+        else:
+            raise ValueError(f"unexpected character {char!r} in path {text!r}")
+    return tuple(steps)
+
+
+def iter_type_paths(
+    tau: JsonType, prefix: Path = ROOT
+) -> Iterator[Tuple[Path, JsonType]]:
+    """Yield ``(path, nested type)`` for every node of ``tau``.
+
+    The root itself is yielded first with the empty path.
+    """
+    yield prefix, tau
+    if isinstance(tau, ObjectType):
+        for key, value in tau.items():
+            yield from iter_type_paths(value, prefix + (key,))
+    elif isinstance(tau, ArrayType):
+        for index, value in enumerate(tau.elements):
+            yield from iter_type_paths(value, prefix + (index,))
+
+
+def iter_value_paths(
+    value: JsonValue, prefix: Path = ROOT
+) -> Iterator[Tuple[Path, JsonValue]]:
+    """Yield ``(path, nested value)`` for every node of a JSON value."""
+    yield prefix, value
+    if isinstance(value, dict):
+        for key, item in value.items():
+            yield from iter_value_paths(item, prefix + (key,))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            yield from iter_value_paths(item, prefix + (index,))
+
+
+def value_at(value: JsonValue, path: Path) -> JsonValue:
+    """Follow ``path`` down a JSON value.  Raises ``KeyError`` on a miss."""
+    current = value
+    for step in path:
+        if step is STAR:
+            raise KeyError("cannot follow a wildcard step into a value")
+        if isinstance(current, dict):
+            current = current[step]
+        elif isinstance(current, list):
+            if not isinstance(step, int):
+                raise KeyError(step)
+            try:
+                current = current[step]
+            except IndexError as exc:
+                raise KeyError(step) from exc
+        else:
+            raise KeyError(step)
+    return current
+
+
+def generalize(path: Path, collection_paths: frozenset) -> Path:
+    """Replace steps nested under detected collections with :data:`STAR`.
+
+    ``collection_paths`` is a set of (generalized) paths that have been
+    ruled collections; any step that descends *out of* one of these
+    paths is replaced by the wildcard, so instances of a collection
+    share a single generalized path.
+    """
+    out: list = []
+    for step in path:
+        if tuple(out) in collection_paths:
+            out.append(STAR)
+        else:
+            out.append(step)
+    return tuple(out)

@@ -1,0 +1,188 @@
+"""The type-similarity relation of Section 5.2 and its accumulator.
+
+Two types are *similar* (``τ1 ≈ τ2``) when:
+
+* either is ``null`` (nulls are similar to anything);
+* both are the same primitive type; or
+* both are like-kinded complex types whose nested types at every
+  *shared* key (or array position) are similar.
+
+Similarity is reflexive and symmetric but **not** transitive.  It is,
+however, *subsumptive*: if ``τ1 ≈ τ2`` and ``union(τ1, τ2) ≈ τ3`` then
+both ``τ1 ≈ τ3`` and ``τ2 ≈ τ3``.  This lets a single linear scan check
+pairwise similarity for a whole bag of types by accumulating a running
+*maximal type* — the union of everything seen so far — and testing each
+new type only against the maximal one.  :class:`SimilarityAccumulator`
+packages that scan, and merges associatively so JXPLAIN's pass ① can be
+a single fold over the data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.jsontypes.types import (
+    ArrayType,
+    JsonType,
+    NULL,
+    ObjectType,
+    PrimitiveType,
+)
+
+
+def similar(
+    first: JsonType, second: JsonType, max_depth: Optional[int] = None
+) -> bool:
+    """Decide ``first ≈ second`` per the paper's similarity rule.
+
+    ``max_depth`` bounds how deep the comparison descends: pairs nested
+    deeper than the bound are assumed similar.  ``None`` (the default)
+    is the paper's literal rule.  Bounding is useful for corpora whose
+    kind-mixing lives only at great depth (Wikidata's
+    ``datavalue.value`` is a string or an object depending on the
+    property's datatype), where the literal rule rules out every
+    enclosing collection.
+    """
+    if max_depth is not None and max_depth <= 0:
+        return True
+    next_depth = None if max_depth is None else max_depth - 1
+    if first is NULL or second is NULL:
+        return True
+    if isinstance(first, PrimitiveType) or isinstance(second, PrimitiveType):
+        return first == second
+    if isinstance(first, ObjectType) and isinstance(second, ObjectType):
+        shared = set(first.keys()) & set(second.keys())
+        return all(
+            similar(first.field(k), second.field(k), next_depth)
+            for k in shared
+        )
+    if isinstance(first, ArrayType) and isinstance(second, ArrayType):
+        overlap = min(len(first), len(second))
+        return all(
+            similar(first.elements[i], second.elements[i], next_depth)
+            for i in range(overlap)
+        )
+    # Object vs. array: unlike kinds are never similar.
+    return False
+
+
+def union_types(
+    first: JsonType, second: JsonType, max_depth: Optional[int] = None
+) -> JsonType:
+    """The *maximal type* of two similar types.
+
+    Unions the key sets of like-kinded complex types, recursing on
+    shared keys; ``null`` is absorbed by the other side.  The result is
+    similar to any type that is similar to both inputs (subsumption).
+
+    ``max_depth`` mirrors :func:`similar`'s bound: pairs nested deeper
+    than the bound keep the first side as the representative.
+
+    Raises ``ValueError`` when the inputs are dissimilar (within the
+    bound), since no maximal type exists in that case.
+    """
+    if max_depth is not None and max_depth <= 0:
+        return first
+    next_depth = None if max_depth is None else max_depth - 1
+    if first is NULL:
+        return second
+    if second is NULL:
+        return first
+    if isinstance(first, PrimitiveType) and first == second:
+        return first
+    if isinstance(first, ObjectType) and isinstance(second, ObjectType):
+        fields = dict(first.items())
+        for key, value in second.items():
+            if key in fields:
+                fields[key] = union_types(fields[key], value, next_depth)
+            else:
+                fields[key] = value
+        return ObjectType(fields)
+    if isinstance(first, ArrayType) and isinstance(second, ArrayType):
+        longer, shorter = (
+            (first, second) if len(first) >= len(second) else (second, first)
+        )
+        elements = [
+            union_types(longer.elements[i], shorter.elements[i], next_depth)
+            if i < len(shorter)
+            else longer.elements[i]
+            for i in range(len(longer))
+        ]
+        return ArrayType(elements)
+    raise ValueError(f"cannot union dissimilar types {first!r} and {second!r}")
+
+
+def all_pairwise_similar(types: Iterable[JsonType]) -> bool:
+    """Check pairwise similarity for a whole bag via one linear scan."""
+    acc = SimilarityAccumulator()
+    for tau in types:
+        acc.add(tau)
+        if not acc.all_similar:
+            return False
+    return acc.all_similar
+
+
+class SimilarityAccumulator:
+    """Streaming pairwise-similarity check with a running maximal type.
+
+    Usage::
+
+        acc = SimilarityAccumulator()
+        for tau in bag:
+            acc.add(tau)
+        acc.all_similar   # were all pairs similar?
+        acc.maximal       # the union of every type seen (if similar)
+
+    Accumulators form a commutative monoid under :meth:`merge`, so a
+    partitioned dataset can build one per partition and combine them.
+    """
+
+    __slots__ = ("maximal", "all_similar", "count", "max_depth")
+
+    def __init__(self, max_depth: Optional[int] = None) -> None:
+        self.maximal: Optional[JsonType] = None
+        self.all_similar: bool = True
+        self.count: int = 0
+        self.max_depth = max_depth
+
+    def add(self, tau: JsonType) -> None:
+        """Fold one type into the accumulator."""
+        self.count += 1
+        if not self.all_similar:
+            return
+        if self.maximal is None:
+            self.maximal = tau
+            return
+        if similar(self.maximal, tau, self.max_depth):
+            self.maximal = union_types(self.maximal, tau, self.max_depth)
+        else:
+            self.all_similar = False
+            self.maximal = None
+
+    def merge(self, other: "SimilarityAccumulator") -> "SimilarityAccumulator":
+        """Combine two accumulators (associative, commutative)."""
+        result = SimilarityAccumulator(self.max_depth)
+        result.count = self.count + other.count
+        if not (self.all_similar and other.all_similar):
+            result.all_similar = False
+            return result
+        if self.maximal is None:
+            result.maximal = other.maximal
+            return result
+        if other.maximal is None:
+            result.maximal = self.maximal
+            return result
+        if similar(self.maximal, other.maximal, self.max_depth):
+            result.maximal = union_types(
+                self.maximal, other.maximal, self.max_depth
+            )
+        else:
+            result.all_similar = False
+        return result
+
+    def copy(self) -> "SimilarityAccumulator":
+        dup = SimilarityAccumulator(self.max_depth)
+        dup.maximal = self.maximal
+        dup.all_similar = self.all_similar
+        dup.count = self.count
+        return dup

@@ -1,0 +1,300 @@
+"""Immutable JSON types (Figure 2 of the paper).
+
+A :class:`JsonType` is the *type* of a single JSON value: primitive
+types are atoms, while the type of an object (resp. array) records the
+type of the value nested under every key (resp. position).  Types are
+immutable and hashable, so bags of types can be stored in
+``collections.Counter`` and deduplicated for free — this is what makes
+the L-reduction ("naive discovery") a one-liner.
+
+The module also provides :func:`type_of`, which extracts the type of a
+parsed JSON value (the output of ``json.loads``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence, Union
+
+from repro.errors import InvalidJsonValueError, RecursionDepthError
+from repro.jsontypes.kinds import Kind
+
+#: A parsed JSON value, as produced by ``json.loads``.
+JsonValue = Union[None, bool, int, float, str, list, dict]
+
+#: Default bound on value/type nesting depth; prevents pathological
+#: inputs from exhausting the interpreter stack.
+MAX_DEPTH = 256
+
+
+class JsonType:
+    """Base class for all JSON types.
+
+    Subclasses are immutable value objects: equality, hashing and
+    ordering are structural.
+    """
+
+    __slots__ = ()
+
+    #: Overridden by subclasses.
+    kind: Kind
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.kind.is_primitive
+
+    @property
+    def is_complex(self) -> bool:
+        return self.kind.is_complex
+
+    def keys(self) -> tuple:
+        """The keys mapped by this type (``keys(τ)`` in the paper).
+
+        Objects return their field names; arrays return their valid
+        indices; primitives return the empty tuple.
+        """
+        return ()
+
+    def field(self, key) -> "JsonType":
+        """The type nested under ``key`` (``τ.k`` in the paper)."""
+        raise KeyError(key)
+
+    def children(self) -> Iterator["JsonType"]:
+        """Iterate over all directly nested types."""
+        return iter(())
+
+    def depth(self) -> int:
+        """Nesting depth of the type (primitives have depth 1)."""
+        child_depth = max((c.depth() for c in self.children()), default=0)
+        return 1 + child_depth
+
+    def node_count(self) -> int:
+        """Total number of type nodes, including this one."""
+        return 1 + sum(c.node_count() for c in self.children())
+
+
+class PrimitiveType(JsonType):
+    """A primitive JSON type: 𝔹, ℝ, 𝕊, or null.
+
+    Instances are interned — there are exactly four of them, exposed as
+    module-level constants :data:`BOOLEAN`, :data:`NUMBER`,
+    :data:`STRING`, and :data:`NULL`.
+    """
+
+    __slots__ = ("kind",)
+
+    _interned: dict = {}
+
+    def __new__(cls, kind: Kind) -> "PrimitiveType":
+        if not kind.is_primitive:
+            raise InvalidJsonValueError(f"{kind} is not a primitive kind")
+        cached = cls._interned.get(kind)
+        if cached is None:
+            cached = super().__new__(cls)
+            object.__setattr__(cached, "kind", kind)
+            cls._interned[kind] = cached
+        return cached
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("PrimitiveType is immutable")
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash(self.kind)
+
+    def __repr__(self) -> str:
+        return self.kind.value
+
+
+#: The four primitive type singletons.
+BOOLEAN = PrimitiveType(Kind.BOOLEAN)
+NUMBER = PrimitiveType(Kind.NUMBER)
+STRING = PrimitiveType(Kind.STRING)
+NULL = PrimitiveType(Kind.NULL)
+
+#: Mapping from primitive kind to its singleton type.
+PRIMITIVES: Mapping[Kind, PrimitiveType] = {
+    Kind.BOOLEAN: BOOLEAN,
+    Kind.NUMBER: NUMBER,
+    Kind.STRING: STRING,
+    Kind.NULL: NULL,
+}
+
+
+class ObjectType(JsonType):
+    """The type of a JSON object: ``{ k1: τ1, ..., kN: τN }``.
+
+    Fields are stored as a tuple of ``(key, type)`` pairs sorted by key,
+    which gives structural equality and hashing independent of the
+    original key order.
+    """
+
+    __slots__ = ("fields", "_hash")
+
+    kind = Kind.OBJECT
+
+    def __init__(self, fields: Mapping[str, JsonType]):
+        for key, value in fields.items():
+            if not isinstance(key, str):
+                raise InvalidJsonValueError(
+                    f"object keys must be strings, got {key!r}"
+                )
+            if not isinstance(value, JsonType):
+                raise InvalidJsonValueError(
+                    f"field {key!r} maps to non-type {value!r}"
+                )
+        items = tuple(sorted(fields.items()))
+        object.__setattr__(self, "fields", items)
+        object.__setattr__(self, "_hash", hash(items))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ObjectType is immutable")
+
+    def keys(self) -> tuple:
+        return tuple(key for key, _ in self.fields)
+
+    def key_set(self) -> frozenset:
+        """The field names as a frozenset (used by entity discovery)."""
+        return frozenset(key for key, _ in self.fields)
+
+    def field(self, key: str) -> JsonType:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default=None):
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def items(self) -> tuple:
+        return self.fields
+
+    def children(self) -> Iterator[JsonType]:
+        return (value for _, value in self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __contains__(self, key: str) -> bool:
+        return any(name == key for name, _ in self.fields)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ObjectType) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{key}: {value!r}" for key, value in self.fields)
+        return "{" + body + "}"
+
+
+class ArrayType(JsonType):
+    """The type of a JSON array: ``[ τ1, ..., τN ]``."""
+
+    __slots__ = ("elements", "_hash")
+
+    kind = Kind.ARRAY
+
+    def __init__(self, elements: Sequence[JsonType]):
+        items = tuple(elements)
+        for value in items:
+            if not isinstance(value, JsonType):
+                raise InvalidJsonValueError(
+                    f"array element is not a type: {value!r}"
+                )
+        object.__setattr__(self, "elements", items)
+        object.__setattr__(self, "_hash", hash(items))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ArrayType is immutable")
+
+    def keys(self) -> tuple:
+        return tuple(range(len(self.elements)))
+
+    def field(self, key: int) -> JsonType:
+        try:
+            return self.elements[key]
+        except (IndexError, TypeError) as exc:
+            raise KeyError(key) from exc
+
+    def children(self) -> Iterator[JsonType]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ArrayType) and self.elements == other.elements
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(value) for value in self.elements) + "]"
+
+
+#: The type of the empty object / empty array, exposed for convenience.
+EMPTY_OBJECT = ObjectType({})
+EMPTY_ARRAY = ArrayType(())
+
+
+def type_of(value: JsonValue, *, max_depth: int = MAX_DEPTH) -> JsonType:
+    """Extract the :class:`JsonType` of a parsed JSON value.
+
+    ``value`` must be a value in the JSON data model as produced by
+    ``json.loads``: ``None``, ``bool``, ``int``/``float``, ``str``,
+    ``list``, or ``dict`` with string keys.
+
+    Raises :class:`~repro.errors.InvalidJsonValueError` for anything
+    else and :class:`~repro.errors.RecursionDepthError` when nesting
+    exceeds ``max_depth``.
+    """
+    if max_depth <= 0:
+        raise RecursionDepthError("value exceeds maximum nesting depth")
+    if value is None:
+        return NULL
+    # bool must be tested before int: ``isinstance(True, int)`` holds.
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, (int, float)):
+        return NUMBER
+    if isinstance(value, str):
+        return STRING
+    if isinstance(value, list):
+        return ArrayType(
+            tuple(type_of(item, max_depth=max_depth - 1) for item in value)
+        )
+    if isinstance(value, dict):
+        return ObjectType(
+            {
+                key: type_of(item, max_depth=max_depth - 1)
+                for key, item in value.items()
+            }
+        )
+    raise InvalidJsonValueError(
+        f"not a JSON value: {value!r} (type {type(value).__name__})"
+    )
+
+
+def kind_of(value: JsonValue) -> Kind:
+    """The :class:`Kind` of a parsed JSON value, without building a type."""
+    if value is None:
+        return Kind.NULL
+    if isinstance(value, bool):
+        return Kind.BOOLEAN
+    if isinstance(value, (int, float)):
+        return Kind.NUMBER
+    if isinstance(value, str):
+        return Kind.STRING
+    if isinstance(value, list):
+        return Kind.ARRAY
+    if isinstance(value, dict):
+        return Kind.OBJECT
+    raise InvalidJsonValueError(
+        f"not a JSON value: {value!r} (type {type(value).__name__})"
+    )

@@ -1,0 +1,43 @@
+"""Measurement harness: recall, schema entropy sweeps, entity accuracy."""
+
+from repro.metrics.conciseness import (
+    ConcisenessRow,
+    count_entities,
+    format_conciseness_table,
+)
+from repro.metrics.entity_accuracy import (
+    EntityAccuracy,
+    evaluate_entity_detection,
+    format_entity_table,
+    ground_truth_path_sets,
+    min_symmetric_differences,
+    record_features,
+    symmetric_difference,
+)
+from repro.metrics.recall import (
+    CellStats,
+    SweepResult,
+    TrialResult,
+    format_sweep_table,
+    measure_recall,
+    run_sweep,
+)
+
+__all__ = [
+    "CellStats",
+    "ConcisenessRow",
+    "EntityAccuracy",
+    "SweepResult",
+    "TrialResult",
+    "count_entities",
+    "evaluate_entity_detection",
+    "format_conciseness_table",
+    "format_entity_table",
+    "format_sweep_table",
+    "ground_truth_path_sets",
+    "measure_recall",
+    "min_symmetric_differences",
+    "record_features",
+    "run_sweep",
+    "symmetric_difference",
+]

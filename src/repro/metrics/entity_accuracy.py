@@ -1,0 +1,187 @@
+"""Entity-detection accuracy (Table 3).
+
+The paper compares, for each ground-truth entity, the most similar
+discovered cluster by the symmetric difference of their schemas:
+``D(S_i, G_j) = |S_i − G_j| + |G_j − S_i|``.  We realize schemas as
+*path sets* — the union of feature paths over the records of a group —
+which captures exactly the structural fields the clustering acted on.
+
+Three clusterings are compared, as in the paper:
+
+* **Bimax-Merge** (JXPLAIN's partitioner);
+* **K-reduce** — no entity detection: one cluster holding everything;
+* **k-means** — with the ground-truth k it would not have in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.datasets.base import LabeledRecord
+from repro.discovery.config import JxplainConfig
+from repro.discovery.jxplain import JxplainMerger, cluster_key_sets
+from repro.entities.kmeans import kmeans_key_sets
+from repro.entities.partitioner import EntityPartitioner
+from repro.jsontypes.types import ObjectType, type_of
+
+PathSet = FrozenSet
+
+
+@dataclass
+class EntityAccuracy:
+    """Per-ground-truth-entity minimum symmetric difference."""
+
+    method: str
+    per_entity: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_entity.values())
+
+    @property
+    def mean(self) -> float:
+        if not self.per_entity:
+            return 0.0
+        return self.total / len(self.per_entity)
+
+
+def _group_feature_sets(
+    groups: Sequence[Sequence[PathSet]],
+) -> List[PathSet]:
+    """The path-set schema of each group: the union of its members."""
+    unions: List[PathSet] = []
+    for group in groups:
+        combined: set = set()
+        for features in group:
+            combined |= features
+        unions.append(frozenset(combined))
+    return unions
+
+
+def symmetric_difference(first: PathSet, second: PathSet) -> int:
+    return len(first ^ second)
+
+
+def min_symmetric_differences(
+    cluster_schemas: Sequence[PathSet],
+    ground_truth: Dict[str, PathSet],
+) -> Dict[str, int]:
+    """For each ground-truth entity, the distance to its best cluster."""
+    result: Dict[str, int] = {}
+    for label, truth in ground_truth.items():
+        if cluster_schemas:
+            result[label] = min(
+                symmetric_difference(schema, truth)
+                for schema in cluster_schemas
+            )
+        else:
+            result[label] = len(truth)
+    return result
+
+
+def record_features(
+    labeled: Sequence[LabeledRecord], config: JxplainConfig
+) -> Tuple[List[PathSet], List[str]]:
+    """Feature vector + label per record (paper §6.4 features)."""
+    merger = JxplainMerger(config)
+    types = [type_of(record) for _, record in labeled]
+    objects = [tau for tau in types if isinstance(tau, ObjectType)]
+    labels = [
+        label
+        for (label, _), tau in zip(labeled, types)
+        if isinstance(tau, ObjectType)
+    ]
+    features = merger.object_features(objects, path=())
+    return list(features), labels
+
+
+def ground_truth_path_sets(
+    features: Sequence[PathSet], labels: Sequence[str]
+) -> Dict[str, PathSet]:
+    """Union of feature paths per ground-truth entity label."""
+    truth: Dict[str, set] = {}
+    for feature_set, label in zip(features, labels):
+        truth.setdefault(label, set()).update(feature_set)
+    return {label: frozenset(paths) for label, paths in truth.items()}
+
+
+def evaluate_entity_detection(
+    labeled: Sequence[LabeledRecord],
+    *,
+    config: JxplainConfig = None,
+    kmeans_seed: int = 0,
+) -> List[EntityAccuracy]:
+    """Run the full Table 3 comparison on one labelled dataset."""
+    config = config or JxplainConfig()
+    features, labels = record_features(labeled, config)
+    truth = ground_truth_path_sets(features, labels)
+    results: List[EntityAccuracy] = []
+
+    # Bimax-Merge clustering.
+    clusters = cluster_key_sets(features, config)
+    partitioner = EntityPartitioner(clusters)
+    grouped: Dict[int, List[PathSet]] = {}
+    for feature_set in features:
+        grouped.setdefault(partitioner.assign(feature_set), []).append(
+            feature_set
+        )
+    bimax_schemas = _group_feature_sets(list(grouped.values()))
+    results.append(
+        EntityAccuracy(
+            method="bimax-merge",
+            per_entity=min_symmetric_differences(bimax_schemas, truth),
+        )
+    )
+
+    # K-reduce: one cluster with every field.
+    kreduce_schema = frozenset().union(*features) if features else frozenset()
+    results.append(
+        EntityAccuracy(
+            method="k-reduce",
+            per_entity=min_symmetric_differences([kreduce_schema], truth),
+        )
+    )
+
+    # k-means with the ground-truth k (unavailable in practice).
+    distinct = sorted(set(features), key=lambda fs: (len(fs), repr(sorted(map(repr, fs)))))
+    k = min(len(truth), len(distinct))
+    if k >= 1 and distinct:
+        km = kmeans_key_sets(distinct, k, seed=kmeans_seed)
+        km_groups: Dict[int, List[PathSet]] = {}
+        for feature_set, cluster_label in zip(distinct, km.labels):
+            km_groups.setdefault(int(cluster_label), []).append(feature_set)
+        km_schemas = _group_feature_sets(list(km_groups.values()))
+        results.append(
+            EntityAccuracy(
+                method="k-means",
+                per_entity=min_symmetric_differences(km_schemas, truth),
+            )
+        )
+    return results
+
+
+def format_entity_table(
+    results: Sequence[EntityAccuracy], *, dataset: str
+) -> str:
+    """Aligned text table: one row per method, one column per entity."""
+    if not results:
+        return "(no results)"
+    entities = sorted(results[0].per_entity)
+    header = ["method"] + entities + ["total"]
+    rows: List[List[str]] = [header]
+    for accuracy in results:
+        row = [accuracy.method]
+        row += [str(accuracy.per_entity.get(e, "-")) for e in entities]
+        row.append(str(accuracy.total))
+        rows.append(row)
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(header))
+    ]
+    lines = [f"[{dataset}] minimum symmetric difference (lower is better)"]
+    lines += [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join(lines)

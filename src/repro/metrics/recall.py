@@ -1,0 +1,190 @@
+"""Recall measurement (Table 1) and the sweep used by Tables 1/2/5.
+
+Recall = fraction of held-out test records admitted by a schema
+discovered from a training sample.  The sweep runs the paper's full
+protocol: reserve 10% for testing, train on {1, 10, 50, 90}% samples,
+5 trials each, reporting mean / std / max per cell.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.discovery.base import Discoverer
+from repro.io.sampling import (
+    PAPER_TRAINING_FRACTIONS,
+    PAPER_TRIALS,
+    train_test_split,
+    uniform_sample,
+)
+from repro.jsontypes.types import JsonValue, type_of
+from repro.schema.entropy import schema_entropy
+from repro.schema.nodes import Schema
+
+
+@dataclass
+class CellStats:
+    """mean / std / max over trials, as Table 1 reports them."""
+
+    values: List[float]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.pstdev(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+
+@dataclass
+class TrialResult:
+    """One (algorithm, fraction, trial) cell of the sweep."""
+
+    algorithm: str
+    fraction: float
+    trial: int
+    recall: float
+    entropy: float
+    runtime_ms: float
+    schema: Optional[Schema] = None
+
+
+@dataclass
+class SweepResult:
+    """All trials of one dataset's sweep, with aggregation helpers."""
+
+    dataset: str
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def cell(
+        self, algorithm: str, fraction: float, metric: str
+    ) -> CellStats:
+        values = [
+            getattr(trial, metric)
+            for trial in self.trials
+            if trial.algorithm == algorithm and trial.fraction == fraction
+        ]
+        return CellStats(values)
+
+    def algorithms(self) -> List[str]:
+        seen: List[str] = []
+        for trial in self.trials:
+            if trial.algorithm not in seen:
+                seen.append(trial.algorithm)
+        return seen
+
+    def fractions(self) -> List[float]:
+        seen: List[float] = []
+        for trial in self.trials:
+            if trial.fraction not in seen:
+                seen.append(trial.fraction)
+        return seen
+
+
+def measure_recall(schema: Schema, test_records: Sequence[JsonValue]) -> float:
+    """Fraction of test records the schema admits."""
+    if not test_records:
+        return 1.0
+    admitted = sum(
+        1 for record in test_records if schema.admits_type(type_of(record))
+    )
+    return admitted / len(test_records)
+
+
+def run_sweep(
+    dataset_name: str,
+    records: Sequence[JsonValue],
+    discoverers: Iterable[Discoverer],
+    *,
+    fractions: Sequence[float] = PAPER_TRAINING_FRACTIONS,
+    trials: int = PAPER_TRIALS,
+    seed: int = 0,
+    keep_schemas: bool = False,
+) -> SweepResult:
+    """The full Table 1/2/5 protocol for one dataset.
+
+    Each trial gets an independent training sample; the 10% test set is
+    fixed per dataset (drawn once with ``seed``), matching the paper's
+    "reserve 10% of the data as a testing set".
+    """
+    split = train_test_split(records, seed=seed)
+    test_types = [type_of(record) for record in split.test]
+    result = SweepResult(dataset=dataset_name)
+    discoverers = list(discoverers)
+    for fraction in fractions:
+        for trial in range(trials):
+            sample = uniform_sample(
+                split.train, fraction, seed=seed * 7919 + trial
+            )
+            if not sample:
+                continue
+            for discoverer in discoverers:
+                start = time.perf_counter()
+                schema = discoverer.discover(sample)
+                runtime_ms = 1000.0 * (time.perf_counter() - start)
+                admitted = sum(
+                    1 for tau in test_types if schema.admits_type(tau)
+                )
+                recall = admitted / len(test_types) if test_types else 1.0
+                result.trials.append(
+                    TrialResult(
+                        algorithm=discoverer.name,
+                        fraction=fraction,
+                        trial=trial,
+                        recall=recall,
+                        entropy=schema_entropy(schema),
+                        runtime_ms=runtime_ms,
+                        schema=schema if keep_schemas else None,
+                    )
+                )
+    return result
+
+
+def format_sweep_table(
+    result: SweepResult,
+    metric: str,
+    *,
+    precision: int = 5,
+    include_max: bool = False,
+) -> str:
+    """Render a sweep as an aligned text table (one row per fraction)."""
+    algorithms = result.algorithms()
+    header = ["dataset", "sample"]
+    for algorithm in algorithms:
+        header.append(f"{algorithm}:mean")
+        header.append(f"{algorithm}:std")
+        if include_max:
+            header.append(f"{algorithm}:max")
+    rows: List[List[str]] = [header]
+    for fraction in result.fractions():
+        row = [result.dataset, f"{int(fraction * 100)}%"]
+        for algorithm in algorithms:
+            stats = result.cell(algorithm, fraction, metric)
+            row.append(f"{stats.mean:.{precision}f}")
+            row.append(f"{stats.std:.{precision}f}")
+            if include_max:
+                row.append(f"{stats.max:.{precision}f}")
+        rows.append(row)
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(header))
+    ]
+    lines = [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join(lines)

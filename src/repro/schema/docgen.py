@@ -1,0 +1,162 @@
+"""Generate Markdown documentation from a discovered schema.
+
+Section 6 opens with GitHub's hand-curated page of 49 event schemas —
+and a footnote noting it was out of date at the time of writing.  This
+module closes that loop: given a discovered schema, it renders the
+page a human would have written — one section per entity, a field
+table with requiredness and types, collections called out with their
+observed domains.
+
+    from repro.schema.docgen import schema_to_markdown
+    print(schema_to_markdown(schema, title="GitHub events"))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.schema.entropy import schema_entropy
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    ObjectCollection,
+    ObjectTuple,
+    PrimitiveSchema,
+    Schema,
+    iter_branches,
+)
+from repro.schema.render import render
+
+
+def _inline_type(schema: Schema) -> str:
+    """A short inline type expression for field tables."""
+    if isinstance(schema, PrimitiveSchema):
+        return f"`{schema.kind.value}`"
+    if isinstance(schema, ArrayCollection):
+        return f"array of {_inline_type(schema.element)}"
+    if isinstance(schema, ObjectCollection):
+        return f"map of {_inline_type(schema.value)}"
+    if isinstance(schema, ArrayTuple):
+        inner = ", ".join(_inline_type(c) for c in schema.elements)
+        return f"tuple [{inner}]"
+    if isinstance(schema, ObjectTuple):
+        return f"object ({len(schema.all_keys)} fields)"
+    if schema is NEVER:
+        return "`never`"
+    alternatives = list(iter_branches(schema))
+    return " or ".join(_inline_type(b) for b in alternatives)
+
+
+def _entity_name(entity: Schema, index: int) -> str:
+    """A readable section name; uses a discriminator-ish field if any.
+
+    Heuristic: single-valued string fields named like discriminators
+    (``type``, ``event``, ``kind``) do not survive discovery (values
+    are erased), so entities are numbered with their key fingerprint.
+    """
+    if isinstance(entity, ObjectTuple):
+        keys = sorted(entity.required_keys) or sorted(entity.all_keys)
+        fingerprint = ", ".join(keys[:3])
+        return f"Entity {index + 1} ({fingerprint}, ...)"
+    return f"Alternative {index + 1}"
+
+
+def _field_rows(entity: ObjectTuple) -> List[str]:
+    rows = ["| field | required | type |", "|---|---|---|"]
+    entries = [(key, child, True) for key, child in entity.required]
+    entries += [(key, child, False) for key, child in entity.optional]
+    for key, child, required in sorted(entries):
+        marker = "yes" if required else "no"
+        rows.append(f"| `{key}` | {marker} | {_inline_type(child)} |")
+    return rows
+
+
+def _document_node(
+    schema: Schema, heading: str, depth: int, out: List[str]
+) -> None:
+    prefix = "#" * min(depth, 6)
+    if isinstance(schema, ObjectTuple):
+        out.append(f"{prefix} {heading}")
+        out.append("")
+        out.extend(_field_rows(schema))
+        out.append("")
+        # Document non-trivial nested structures beneath.
+        for key, child in schema.required + schema.optional:
+            if isinstance(child, ObjectTuple) and child.all_keys:
+                _document_node(child, f"`{key}`", depth + 1, out)
+            elif isinstance(child, (ObjectCollection, ArrayCollection)):
+                _document_collection(child, f"`{key}`", depth + 1, out)
+        return
+    if isinstance(schema, (ObjectCollection, ArrayCollection)):
+        _document_collection(schema, heading, depth, out)
+        return
+    out.append(f"{prefix} {heading}")
+    out.append("")
+    out.append(f"Type: {_inline_type(schema)}")
+    out.append("")
+
+
+def _document_collection(
+    schema: Schema, heading: str, depth: int, out: List[str]
+) -> None:
+    prefix = "#" * min(depth, 6)
+    out.append(f"{prefix} {heading}")
+    out.append("")
+    if isinstance(schema, ObjectCollection):
+        out.append(
+            f"A key/value collection ({schema.domain_size} distinct keys "
+            "observed); any key is accepted. Values:"
+        )
+        out.append("")
+        sample = sorted(schema.domain)[:5]
+        if sample:
+            rendered = ", ".join(f"`{key}`" for key in sample)
+            out.append(f"Example keys: {rendered}")
+            out.append("")
+        out.append(f"Value type: {_inline_type(schema.value)}")
+        out.append("")
+        if isinstance(schema.value, ObjectTuple) and schema.value.all_keys:
+            _document_node(schema.value, "Collection values", depth + 1, out)
+    else:
+        out.append(
+            f"An array collection (up to {schema.max_length_seen} elements "
+            "observed); any length is accepted."
+        )
+        out.append("")
+        out.append(f"Element type: {_inline_type(schema.element)}")
+        out.append("")
+        if isinstance(schema.element, ObjectTuple) and schema.element.all_keys:
+            _document_node(
+                schema.element, "Array elements", depth + 1, out
+            )
+
+
+def schema_to_markdown(
+    schema: Schema,
+    *,
+    title: str = "Discovered schema",
+    description: Optional[str] = None,
+) -> str:
+    """Render a schema as a Markdown documentation page."""
+    out: List[str] = [f"# {title}", ""]
+    if description:
+        out.append(description)
+        out.append("")
+    entities = list(iter_branches(schema))
+    entropy = schema_entropy(schema)
+    out.append(
+        f"*{len(entities)} top-level alternative(s); schema entropy "
+        f"{entropy:.1f} bits.*"
+    )
+    out.append("")
+    for index, entity in enumerate(entities):
+        _document_node(entity, _entity_name(entity, index), 2, out)
+    out.append("---")
+    out.append("")
+    out.append("Raw schema:")
+    out.append("")
+    out.append("```")
+    out.append(render(schema))
+    out.append("```")
+    return "\n".join(out)

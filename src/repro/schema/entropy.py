@@ -1,0 +1,182 @@
+"""Schema entropy: the log2 number of types a schema admits (§7.2).
+
+The paper's precision proxy, computed in log space — the counts
+involved reach 2^2369 (the Pharmaceutical dataset), far beyond floating
+point, and arbitrary-precision integers would be astronomical.
+
+Counting rules, following §7.2 ("treating each optional path as a
+binary decision ... for collections, we range over the active domain of
+the matched object, or over arrays of length up to the longest present
+in the data"):
+
+* a primitive admits exactly 1 type;
+* a **required** field multiplies by its nested count ``c``; an
+  **optional** field is a binary decision: a factor ``1 + c``;
+* an ``ObjectCollection`` with an observed active domain of ``D`` keys
+  contributes one presence bit per domain key plus the *shared* nested
+  schema's choices counted once: ``2^D · c``.  A collection has a
+  single nested schema for every key (that is what makes it a
+  collection), so its nested decisions are one set of choices — this
+  matches the paper's tables, where a collection of primitives scores
+  exactly like the same keys as optional primitive fields (Table 2's
+  Pharma rows are identical across extractors);
+* an ``ArrayCollection`` ranges over lengths ``0..L`` (the longest
+  observed): ``(L + 1) · c``;
+* a union admits the sum of its branches (branches produced by the
+  discovery algorithms are disjoint by construction: distinct
+  primitives, or tuple entities with distinct key sets).
+
+:func:`log2_type_count` also offers ``literal_collections=True``: the
+fully literal count in which every collection key independently picks
+a nested type (``(1 + c)^D``), which compounds doubly-nested
+collections into astronomically larger counts.  The ablation benchmark
+contrasts the two conventions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import UnsupportedSchemaError
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    ObjectCollection,
+    ObjectTuple,
+    PrimitiveSchema,
+    Schema,
+    Union,
+)
+
+#: log2 of zero admitted types.
+LOG2_ZERO = float("-inf")
+
+
+def log2_add(first: float, second: float) -> float:
+    """``log2(2^first + 2^second)``, numerically stable."""
+    if first == LOG2_ZERO:
+        return second
+    if second == LOG2_ZERO:
+        return first
+    high, low = (first, second) if first >= second else (second, first)
+    return high + math.log2(1.0 + 2.0 ** (low - high))
+
+
+def log2_sum(values: Iterable[float]) -> float:
+    """log2 of the sum of ``2^v`` over ``values`` (stable fold)."""
+    total = LOG2_ZERO
+    for value in values:
+        total = log2_add(total, value)
+    return total
+
+
+def log2_one_plus(log_count: float) -> float:
+    """``log2(1 + 2^log_count)`` — the optional-field factor."""
+    return log2_add(0.0, log_count)
+
+
+def log2_geometric_sum(log_ratio: float, max_exponent: int) -> float:
+    """``log2( sum_{n=0}^{L} c^n )`` where ``log_ratio = log2(c)``.
+
+    Uses the closed form ``(c^(L+1) - 1) / (c - 1)`` when numerically
+    safe, falling back to a direct log-sum-exp for small or near-1
+    ratios.  Used by the literal-collections counting convention.
+    """
+    if max_exponent < 0:
+        return LOG2_ZERO
+    if max_exponent == 0:
+        return 0.0
+    if log_ratio == LOG2_ZERO:
+        # c == 0: only the empty array.
+        return 0.0
+    if abs(log_ratio) < 1e-12:
+        # c == 1: L + 1 equal terms.
+        return math.log2(max_exponent + 1)
+    if log_ratio > 0 and (max_exponent + 1) * log_ratio > 64:
+        # c^(L+1) dwarfs 1; the series is c^(L+1) / (c - 1) to within
+        # double precision.
+        ratio = 2.0 ** log_ratio if log_ratio < 1020 else None
+        if ratio is not None and math.isfinite(ratio):
+            return (max_exponent + 1) * log_ratio - math.log2(ratio - 1.0)
+        # Enormous ratio: the top term dominates completely.
+        return max_exponent * log_ratio
+    return log2_sum(n * log_ratio for n in range(max_exponent + 1))
+
+
+def log2_type_count(
+    schema: Schema, *, literal_collections: bool = False
+) -> float:
+    """log2 of the number of types ``schema`` admits.
+
+    ``literal_collections=False`` (default) uses the paper's decision
+    counting for collections; ``True`` uses the fully literal count.
+    """
+    return _count(schema, literal_collections)
+
+
+def _count(schema: Schema, literal: bool) -> float:
+    if schema is NEVER:
+        return LOG2_ZERO
+    if isinstance(schema, PrimitiveSchema):
+        return 0.0
+    if isinstance(schema, Union):
+        return log2_sum(_count(b, literal) for b in schema.branches)
+    if isinstance(schema, ObjectTuple):
+        total = 0.0
+        for _, child in schema.required:
+            child_count = _count(child, literal)
+            if child_count == LOG2_ZERO:
+                return LOG2_ZERO
+            total += child_count
+        for _, child in schema.optional:
+            total += log2_one_plus(_count(child, literal))
+        return total
+    if isinstance(schema, ArrayTuple):
+        # Sum over allowed lengths of the product of position counts.
+        prefix = 0.0
+        prefixes = [0.0]
+        dead = False
+        for child in schema.elements:
+            child_count = _count(child, literal)
+            if child_count == LOG2_ZERO:
+                dead = True
+            if dead:
+                prefixes.append(LOG2_ZERO)
+                continue
+            prefix += child_count
+            prefixes.append(prefix)
+        allowed = prefixes[schema.min_length : len(schema.elements) + 1]
+        return log2_sum(allowed)
+    if isinstance(schema, ArrayCollection):
+        element_count = _count(schema.element, literal)
+        if element_count == LOG2_ZERO:
+            return 0.0  # only the empty array
+        if literal:
+            return log2_geometric_sum(element_count, schema.max_length_seen)
+        # Decision counting: a length choice 0..L times one shared set
+        # of element choices.
+        return math.log2(schema.max_length_seen + 1) + element_count
+    if isinstance(schema, ObjectCollection):
+        value_count = _count(schema.value, literal)
+        if value_count == LOG2_ZERO:
+            return 0.0  # only the empty object
+        if literal:
+            return schema.domain_size * log2_one_plus(value_count)
+        # Decision counting: one presence bit per domain key plus the
+        # shared value schema's choices counted once.
+        return float(schema.domain_size) + value_count
+    raise UnsupportedSchemaError(f"not a schema: {schema!r}")
+
+
+def schema_entropy(
+    schema: Schema, *, literal_collections: bool = False
+) -> float:
+    """Schema entropy as reported in Table 2: ``log2 |schema|``.
+
+    Returns ``-inf`` for the empty schema.
+    """
+    return log2_type_count(
+        schema, literal_collections=literal_collections
+    )

@@ -1,0 +1,514 @@
+"""The schema grammar of Section 4 of the paper.
+
+A :class:`Schema` denotes a *set of JSON types* (Definition 1).  The
+grammar mirrors the paper's:
+
+* primitives — :class:`PrimitiveSchema`;
+* ``ArrayTuple(S, S, ...)`` — fixed positions, possibly with an
+  optional suffix (the array analogue of optional fields);
+* ``ObjectTuple(k: S, ..., k?: S, ...)`` — required and optional
+  fields;
+* ``ArrayCollection(S)`` / ``ObjectCollection(S)`` — homogeneous
+  collections of any length / over any key set;
+* ``Union(S, S, ...)`` — alternatives; the empty union is
+  :data:`NEVER`, which admits nothing.
+
+Collection nodes additionally carry the *observed* key domain or
+maximum length from the training data.  Admission ignores these (a
+collection admits any keys / any length — that is the point of a
+collection), but schema-entropy computation (Section 7.2) ranges over
+them, so storing them makes entropy a function of the schema alone.
+
+All nodes are immutable and hashable; :func:`union` normalizes
+(flattens nested unions, deduplicates, drops :data:`NEVER`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import SchemaConstructionError
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.types import (
+    ArrayType,
+    JsonType,
+    JsonValue,
+    ObjectType,
+    PrimitiveType,
+    type_of,
+)
+
+
+class Schema:
+    """Base class: a set of admitted JSON types."""
+
+    __slots__ = ()
+
+    def admits_type(self, tau: JsonType) -> bool:
+        """Is ``tau`` an element of this schema (Definition 1)?"""
+        raise NotImplementedError
+
+    def admits_value(self, value: JsonValue) -> bool:
+        """Does the schema admit the type of ``value``?"""
+        return self.admits_type(type_of(value))
+
+    def children(self) -> Iterator["Schema"]:
+        """Directly nested schemas."""
+        return iter(())
+
+    def node_count(self) -> int:
+        """Number of schema nodes, a proxy for description size."""
+        return 1 + sum(child.node_count() for child in self.children())
+
+    def depth(self) -> int:
+        child_depth = max(
+            (child.depth() for child in self.children()), default=0
+        )
+        return 1 + child_depth
+
+    def walk(self) -> Iterator["Schema"]:
+        """Iterate over every node of the schema tree, preorder."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        from repro.schema.render import render
+
+        return render(self, compact=True)
+
+
+class _Never(Schema):
+    """The empty schema: admits no type.  The identity of union."""
+
+    __slots__ = ()
+    _instance: Optional["_Never"] = None
+
+    def __new__(cls) -> "_Never":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def admits_type(self, tau: JsonType) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash("repro.schema.NEVER")
+
+
+#: The empty schema.
+NEVER = _Never()
+
+
+class PrimitiveSchema(Schema):
+    """A singleton schema for one primitive type."""
+
+    __slots__ = ("kind",)
+
+    _interned: dict = {}
+
+    def __new__(cls, kind: Kind) -> "PrimitiveSchema":
+        if not kind.is_primitive:
+            raise SchemaConstructionError(
+                f"{kind} is not a primitive kind"
+            )
+        cached = cls._interned.get(kind)
+        if cached is None:
+            cached = super().__new__(cls)
+            object.__setattr__(cached, "kind", kind)
+            cls._interned[kind] = cached
+        return cached
+
+    def __setattr__(self, name, value):
+        raise AttributeError("PrimitiveSchema is immutable")
+
+    def admits_type(self, tau: JsonType) -> bool:
+        return isinstance(tau, PrimitiveType) and tau.kind == self.kind
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash((PrimitiveSchema, self.kind))
+
+
+#: Primitive schema singletons.
+BOOLEAN_S = PrimitiveSchema(Kind.BOOLEAN)
+NUMBER_S = PrimitiveSchema(Kind.NUMBER)
+STRING_S = PrimitiveSchema(Kind.STRING)
+NULL_S = PrimitiveSchema(Kind.NULL)
+
+PRIMITIVE_SCHEMAS: Mapping[Kind, PrimitiveSchema] = {
+    Kind.BOOLEAN: BOOLEAN_S,
+    Kind.NUMBER: NUMBER_S,
+    Kind.STRING: STRING_S,
+    Kind.NULL: NULL_S,
+}
+
+
+class ObjectTuple(Schema):
+    """Tuple-like objects: required and optional fields.
+
+    Admits any object type with all required keys, no keys outside
+    ``required ∪ optional``, and every present field's type admitted by
+    the corresponding nested schema.
+    """
+
+    __slots__ = ("required", "optional", "_hash")
+
+    def __init__(
+        self,
+        required: Mapping[str, Schema] = (),
+        optional: Mapping[str, Schema] = (),
+    ):
+        req = tuple(sorted(dict(required).items()))
+        opt = tuple(sorted(dict(optional).items()))
+        req_keys = {key for key, _ in req}
+        overlap = req_keys & {key for key, _ in opt}
+        if overlap:
+            raise SchemaConstructionError(
+                f"fields cannot be both required and optional: {sorted(overlap)}"
+            )
+        for key, child in req + opt:
+            if not isinstance(child, Schema):
+                raise SchemaConstructionError(
+                    f"field {key!r} maps to non-schema {child!r}"
+                )
+        object.__setattr__(self, "required", req)
+        object.__setattr__(self, "optional", opt)
+        object.__setattr__(self, "_hash", hash((ObjectTuple, req, opt)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ObjectTuple is immutable")
+
+    @property
+    def required_keys(self) -> frozenset:
+        return frozenset(key for key, _ in self.required)
+
+    @property
+    def optional_keys(self) -> frozenset:
+        return frozenset(key for key, _ in self.optional)
+
+    @property
+    def all_keys(self) -> frozenset:
+        return self.required_keys | self.optional_keys
+
+    def field_schema(self, key: str) -> Schema:
+        """The nested schema for ``key`` (required or optional)."""
+        for name, child in self.required + self.optional:
+            if name == key:
+                return child
+        raise KeyError(key)
+
+    def admits_type(self, tau: JsonType) -> bool:
+        if not isinstance(tau, ObjectType):
+            return False
+        present = tau.key_set()
+        if not self.required_keys <= present:
+            return False
+        if not present <= self.all_keys:
+            return False
+        return all(
+            self.field_schema(key).admits_type(value)
+            for key, value in tau.items()
+        )
+
+    def children(self) -> Iterator[Schema]:
+        for _, child in self.required + self.optional:
+            yield child
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ObjectTuple)
+            and self.required == other.required
+            and self.optional == other.optional
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class ArrayTuple(Schema):
+    """Tuple-like arrays: fixed positions with an optional suffix.
+
+    ``elements[i]`` is the schema of position ``i``; arrays of any
+    length between ``min_length`` and ``len(elements)`` are admitted
+    (positions past ``min_length`` are optional, trailing-only — the
+    natural array analogue of optional object fields).
+    """
+
+    __slots__ = ("elements", "min_length", "_hash")
+
+    def __init__(self, elements: Sequence[Schema], min_length: Optional[int] = None):
+        items = tuple(elements)
+        for child in items:
+            if not isinstance(child, Schema):
+                raise SchemaConstructionError(
+                    f"array position maps to non-schema {child!r}"
+                )
+        if min_length is None:
+            min_length = len(items)
+        if not 0 <= min_length <= len(items):
+            raise SchemaConstructionError(
+                f"min_length {min_length} out of range 0..{len(items)}"
+            )
+        object.__setattr__(self, "elements", items)
+        object.__setattr__(self, "min_length", min_length)
+        object.__setattr__(
+            self, "_hash", hash((ArrayTuple, items, min_length))
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ArrayTuple is immutable")
+
+    def admits_type(self, tau: JsonType) -> bool:
+        if not isinstance(tau, ArrayType):
+            return False
+        if not self.min_length <= len(tau) <= len(self.elements):
+            return False
+        return all(
+            self.elements[i].admits_type(tau.elements[i])
+            for i in range(len(tau))
+        )
+
+    def children(self) -> Iterator[Schema]:
+        return iter(self.elements)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ArrayTuple)
+            and self.elements == other.elements
+            and self.min_length == other.min_length
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class ArrayCollection(Schema):
+    """Collection-like arrays: ``[S]*``.
+
+    Admits any array type, of any length, whose elements are all
+    admitted by ``element``.  ``max_length_seen`` records the longest
+    array observed in training; admission ignores it, schema entropy
+    ranges over it.
+    """
+
+    __slots__ = ("element", "max_length_seen", "_hash")
+
+    def __init__(self, element: Schema, max_length_seen: int = 0):
+        if not isinstance(element, Schema):
+            raise SchemaConstructionError(
+                f"collection element is not a schema: {element!r}"
+            )
+        if max_length_seen < 0:
+            raise SchemaConstructionError("max_length_seen must be >= 0")
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "max_length_seen", int(max_length_seen))
+        object.__setattr__(
+            self, "_hash", hash((ArrayCollection, element, max_length_seen))
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ArrayCollection is immutable")
+
+    def admits_type(self, tau: JsonType) -> bool:
+        if not isinstance(tau, ArrayType):
+            return False
+        return all(self.element.admits_type(item) for item in tau.elements)
+
+    def children(self) -> Iterator[Schema]:
+        yield self.element
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ArrayCollection)
+            and self.element == other.element
+            and self.max_length_seen == other.max_length_seen
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class ObjectCollection(Schema):
+    """Collection-like objects: ``{*: S}*``.
+
+    Admits any object type, over any key set, whose field types are all
+    admitted by ``value``.  ``domain`` records the active key domain
+    observed in training; admission ignores it, entropy ranges over it.
+    """
+
+    __slots__ = ("value", "domain", "_hash")
+
+    def __init__(self, value: Schema, domain: Iterable[str] = ()):
+        if not isinstance(value, Schema):
+            raise SchemaConstructionError(
+                f"collection value is not a schema: {value!r}"
+            )
+        dom = frozenset(domain)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "domain", dom)
+        object.__setattr__(
+            self, "_hash", hash((ObjectCollection, value, dom))
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ObjectCollection is immutable")
+
+    @property
+    def domain_size(self) -> int:
+        return len(self.domain)
+
+    def admits_type(self, tau: JsonType) -> bool:
+        if not isinstance(tau, ObjectType):
+            return False
+        return all(
+            self.value.admits_type(child) for _, child in tau.items()
+        )
+
+    def children(self) -> Iterator[Schema]:
+        yield self.value
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ObjectCollection)
+            and self.value == other.value
+            and self.domain == other.domain
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Union(Schema):
+    """A union of alternative schemas.
+
+    Construct through :func:`union`, which normalizes; the raw
+    constructor requires at least two distinct, non-union branches.
+    """
+
+    __slots__ = ("branches", "_hash")
+
+    def __init__(self, branches: Sequence[Schema]):
+        items = tuple(branches)
+        if len(items) < 2:
+            raise SchemaConstructionError(
+                "Union requires >= 2 branches; use union() to normalize"
+            )
+        for child in items:
+            if not isinstance(child, Schema):
+                raise SchemaConstructionError(
+                    f"union branch is not a schema: {child!r}"
+                )
+            if isinstance(child, (Union, _Never)):
+                raise SchemaConstructionError(
+                    "Union branches must be normalized; use union()"
+                )
+        object.__setattr__(self, "branches", items)
+        object.__setattr__(self, "_hash", hash((Union, frozenset(items))))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Union is immutable")
+
+    def admits_type(self, tau: JsonType) -> bool:
+        return any(branch.admits_type(tau) for branch in self.branches)
+
+    def children(self) -> Iterator[Schema]:
+        return iter(self.branches)
+
+    def __eq__(self, other) -> bool:
+        # Branch order is presentation only; the denoted set is the same.
+        return isinstance(other, Union) and frozenset(self.branches) == frozenset(
+            other.branches
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def union(*branches: Schema) -> Schema:
+    """Normalized union: flatten, deduplicate, drop NEVER.
+
+    Returns :data:`NEVER` for an empty union and the branch itself for
+    a singleton.
+    """
+    flat: list = []
+    seen = set()
+
+    def emit(node: Schema) -> None:
+        if node is NEVER:
+            return
+        if isinstance(node, Union):
+            for child in node.branches:
+                emit(child)
+            return
+        if node not in seen:
+            seen.add(node)
+            flat.append(node)
+
+    for branch in branches:
+        emit(branch)
+    if not flat:
+        return NEVER
+    if len(flat) == 1:
+        return flat[0]
+    return Union(flat)
+
+
+def union_of(branches: Iterable[Schema]) -> Schema:
+    """:func:`union` over an iterable."""
+    return union(*branches)
+
+
+def exact_schema(tau: JsonType) -> Schema:
+    """The singleton schema admitting exactly ``tau``.
+
+    This is the record-level building block of the L-reduction: objects
+    become all-required :class:`ObjectTuple`, arrays become
+    fixed-length :class:`ArrayTuple`.
+    """
+    if isinstance(tau, PrimitiveType):
+        return PRIMITIVE_SCHEMAS[tau.kind]
+    if isinstance(tau, ObjectType):
+        return ObjectTuple(
+            {key: exact_schema(value) for key, value in tau.items()}
+        )
+    if isinstance(tau, ArrayType):
+        return ArrayTuple(tuple(exact_schema(item) for item in tau.elements))
+    raise SchemaConstructionError(f"not a JSON type: {tau!r}")
+
+
+def iter_branches(schema: Schema) -> Iterator[Schema]:
+    """Iterate over the top-level alternatives of a schema."""
+    if schema is NEVER:
+        return
+    if isinstance(schema, Union):
+        yield from schema.branches
+    else:
+        yield schema
+
+
+def entity_count(schema: Schema) -> int:
+    """Number of tuple-like *entities* in a schema (Section 4.3).
+
+    Counts every :class:`ObjectTuple` and :class:`ArrayTuple` node in
+    the whole schema tree.
+    """
+    return sum(
+        1
+        for node in schema.walk()
+        if isinstance(node, (ObjectTuple, ArrayTuple))
+    )
+
+
+def top_level_entity_count(schema: Schema) -> int:
+    """Number of tuple-like entities among the top-level alternatives."""
+    return sum(
+        1
+        for node in iter_branches(schema)
+        if isinstance(node, (ObjectTuple, ArrayTuple))
+    )

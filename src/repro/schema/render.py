@@ -1,0 +1,93 @@
+"""Human-readable rendering of schemas.
+
+The output mirrors the paper's shorthand notation:
+
+* ``{ts: number, user?: {...}}`` — object tuples with ``?`` marking
+  optional fields;
+* ``[number, number]`` — array tuples (an optional suffix is marked
+  with ``?`` on each optional position);
+* ``[string]*`` and ``{*: number}*`` — collections;
+* ``A | B`` — unions;
+* ``never`` — the empty schema.
+"""
+
+from __future__ import annotations
+
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    ObjectCollection,
+    ObjectTuple,
+    PrimitiveSchema,
+    Schema,
+    Union,
+)
+
+_INDENT = "  "
+
+
+def render(schema: Schema, *, compact: bool = False, indent: int = 0) -> str:
+    """Render a schema as text.
+
+    ``compact=True`` produces a single line; otherwise nested objects
+    are pretty-printed across lines.
+    """
+    if schema is NEVER:
+        return "never"
+    if isinstance(schema, PrimitiveSchema):
+        return schema.kind.value
+    if isinstance(schema, Union):
+        parts = [
+            render(branch, compact=compact, indent=indent)
+            for branch in schema.branches
+        ]
+        return " | ".join(parts)
+    if isinstance(schema, ArrayCollection):
+        inner = render(schema.element, compact=compact, indent=indent)
+        return f"[{inner}]*"
+    if isinstance(schema, ObjectCollection):
+        inner = render(schema.value, compact=compact, indent=indent)
+        return f"{{*: {inner}}}*"
+    if isinstance(schema, ArrayTuple):
+        parts = []
+        for position, child in enumerate(schema.elements):
+            text = render(child, compact=compact, indent=indent)
+            if position >= schema.min_length:
+                text += "?"
+            parts.append(text)
+        return "[" + ", ".join(parts) + "]"
+    if isinstance(schema, ObjectTuple):
+        return _render_object_tuple(schema, compact=compact, indent=indent)
+    raise TypeError(f"not a schema: {schema!r}")
+
+
+def _render_object_tuple(
+    schema: ObjectTuple, *, compact: bool, indent: int
+) -> str:
+    entries = [(key, child, False) for key, child in schema.required]
+    entries += [(key, child, True) for key, child in schema.optional]
+    entries.sort(key=lambda item: item[0])
+    if not entries:
+        return "{}"
+    rendered = []
+    for key, child, is_optional in entries:
+        marker = "?" if is_optional else ""
+        text = render(child, compact=compact, indent=indent + 1)
+        rendered.append(f"{key}{marker}: {text}")
+    if compact:
+        return "{" + ", ".join(rendered) + "}"
+    pad = _INDENT * (indent + 1)
+    close_pad = _INDENT * indent
+    body = (",\n" + pad).join(rendered)
+    return "{\n" + pad + body + "\n" + close_pad + "}"
+
+
+def summary(schema: Schema) -> str:
+    """A one-line summary: node count, depth, entity count."""
+    from repro.schema.nodes import entity_count
+
+    return (
+        f"<schema nodes={schema.node_count()} depth={schema.depth()} "
+        f"entities={entity_count(schema)}>"
+    )

@@ -1,0 +1,165 @@
+"""Schema subsumption and union simplification.
+
+``subsumes(a, b)`` decides (conservatively) whether every type admitted
+by ``b`` is admitted by ``a`` — i.e. ``b ⊆ a`` as sets of types.  It is
+sound but not complete: a ``True`` answer is always correct, while some
+true containments involving unions distributed over object fields
+return ``False``.  That is the right trade-off for its two uses:
+
+* :func:`simplify_union` — drop union branches admitted by a sibling
+  (discovery can produce an entity whose types another entity already
+  covers, e.g. the all-optional K-reduce tuple next to L-reduce exact
+  branches);
+* regression checks of the form "the JXPLAIN schema admits no type the
+  K-reduce schema does not" in tests and benches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    ObjectCollection,
+    ObjectTuple,
+    PrimitiveSchema,
+    Schema,
+    Union,
+    union,
+)
+
+
+def subsumes(wider: Schema, narrower: Schema) -> bool:
+    """Conservatively decide whether ``narrower ⊆ wider``.
+
+    ``True`` guarantees every type admitted by ``narrower`` is admitted
+    by ``wider``; ``False`` is inconclusive.
+    """
+    if narrower is NEVER:
+        return True
+    if wider is NEVER:
+        return False
+    if wider == narrower:
+        return True
+    # A union on the narrow side must be covered branch by branch.
+    if isinstance(narrower, Union):
+        return all(subsumes(wider, branch) for branch in narrower.branches)
+    # A union on the wide side covers if any branch does (sound but
+    # incomplete: cross-branch coverage is not attempted).
+    if isinstance(wider, Union):
+        return any(subsumes(branch, narrower) for branch in wider.branches)
+    if isinstance(wider, PrimitiveSchema) or isinstance(
+        narrower, PrimitiveSchema
+    ):
+        return wider == narrower
+    if isinstance(wider, ObjectTuple) and isinstance(narrower, ObjectTuple):
+        return _object_tuple_subsumes(wider, narrower)
+    if isinstance(wider, ArrayTuple) and isinstance(narrower, ArrayTuple):
+        return _array_tuple_subsumes(wider, narrower)
+    if isinstance(wider, ObjectCollection):
+        return _object_collection_subsumes(wider, narrower)
+    if isinstance(wider, ArrayCollection):
+        return _array_collection_subsumes(wider, narrower)
+    return False
+
+
+def _object_tuple_subsumes(wider: ObjectTuple, narrower: ObjectTuple) -> bool:
+    # Every key the narrow schema may produce must be allowed...
+    if not narrower.all_keys <= wider.all_keys:
+        return False
+    # ... every key the wide schema demands must always be present ...
+    if not wider.required_keys <= narrower.required_keys:
+        return False
+    # ... and each shared field's types must be contained.
+    return all(
+        subsumes(wider.field_schema(key), narrower.field_schema(key))
+        for key in narrower.all_keys
+    )
+
+
+def _array_tuple_subsumes(wider: ArrayTuple, narrower: ArrayTuple) -> bool:
+    if narrower.min_length < wider.min_length:
+        return False
+    if len(narrower.elements) > len(wider.elements):
+        return False
+    return all(
+        subsumes(wider.elements[i], narrower.elements[i])
+        for i in range(len(narrower.elements))
+    )
+
+
+def _object_collection_subsumes(
+    wider: ObjectCollection, narrower: Schema
+) -> bool:
+    if isinstance(narrower, ObjectCollection):
+        return subsumes(wider.value, narrower.value)
+    if isinstance(narrower, ObjectTuple):
+        return all(
+            subsumes(wider.value, child)
+            for _, child in narrower.required + narrower.optional
+        )
+    return False
+
+
+def _array_collection_subsumes(
+    wider: ArrayCollection, narrower: Schema
+) -> bool:
+    if isinstance(narrower, ArrayCollection):
+        return subsumes(wider.element, narrower.element)
+    if isinstance(narrower, ArrayTuple):
+        return all(
+            subsumes(wider.element, child) for child in narrower.elements
+        )
+    return False
+
+
+def simplify_union(schema: Schema) -> Schema:
+    """Drop union branches another branch already subsumes.
+
+    Applied recursively to nested schemas.  The result admits exactly
+    the same set of types (subsumption is sound), with a smaller
+    description.
+    """
+    schema = _simplify_children(schema)
+    if not isinstance(schema, Union):
+        return schema
+    branches: List[Schema] = list(schema.branches)
+    kept: List[Schema] = []
+    for index, branch in enumerate(branches):
+        covered = False
+        for other_index, other in enumerate(branches):
+            if other_index == index or not subsumes(other, branch):
+                continue
+            # Mutual subsumption (two spellings of the same set):
+            # keep only the earliest spelling.
+            if subsumes(branch, other) and other_index > index:
+                continue
+            covered = True
+            break
+        if not covered:
+            kept.append(branch)
+    return union(*kept)
+
+
+def _simplify_children(schema: Schema) -> Schema:
+    if isinstance(schema, Union):
+        return union(*(simplify_union(b) for b in schema.branches))
+    if isinstance(schema, ObjectTuple):
+        return ObjectTuple(
+            {k: simplify_union(v) for k, v in schema.required},
+            {k: simplify_union(v) for k, v in schema.optional},
+        )
+    if isinstance(schema, ArrayTuple):
+        return ArrayTuple(
+            tuple(simplify_union(child) for child in schema.elements),
+            schema.min_length,
+        )
+    if isinstance(schema, ArrayCollection):
+        return ArrayCollection(
+            simplify_union(schema.element), schema.max_length_seen
+        )
+    if isinstance(schema, ObjectCollection):
+        return ObjectCollection(simplify_union(schema.value), schema.domain)
+    return schema

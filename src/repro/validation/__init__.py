@@ -1,0 +1,53 @@
+"""Validation, iterative refinement, and greedy schema repair."""
+
+from repro.validation.diff import (
+    BREAKING_KINDS,
+    ChangeKind,
+    SchemaChange,
+    SchemaDiff,
+    diff_schemas,
+)
+from repro.validation.edits import (
+    EditLog,
+    EditReport,
+    edits_to_full_recall,
+    repair_schema,
+)
+from repro.validation.refine import (
+    RefinementResult,
+    RefinementRound,
+    iterative_refinement,
+)
+from repro.validation.validator import (
+    RecordOutcome,
+    ValidationReport,
+    Violation,
+    explain_rejection,
+    first_failures,
+    recall_against,
+    validate_records,
+    validate_type,
+)
+
+__all__ = [
+    "BREAKING_KINDS",
+    "ChangeKind",
+    "SchemaChange",
+    "SchemaDiff",
+    "diff_schemas",
+    "EditLog",
+    "EditReport",
+    "RecordOutcome",
+    "RefinementResult",
+    "RefinementRound",
+    "ValidationReport",
+    "Violation",
+    "edits_to_full_recall",
+    "explain_rejection",
+    "first_failures",
+    "iterative_refinement",
+    "recall_against",
+    "repair_schema",
+    "validate_records",
+    "validate_type",
+]

@@ -1,0 +1,311 @@
+"""Structural schema diffing.
+
+The paper's motivating user watches a stream for *structural change*.
+Validation flags individual records; :func:`diff_schemas` compares two
+discovered schemas wholesale — e.g. last week's against today's — and
+reports what changed, path by path:
+
+* fields / positions added or removed;
+* required fields that became optional (and vice versa);
+* primitive-kind changes;
+* tuple ↔ collection reinterpretations;
+* collection domain growth and array-length drift (informational:
+  these do not change what the schema admits).
+
+Entity (union) alternatives are matched greedily by structural
+similarity before descending, so adding one new event type to a
+49-entity stream reports one added entity rather than 49 changed ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.jsontypes.paths import Path, ROOT, render_path
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    ObjectCollection,
+    ObjectTuple,
+    PrimitiveSchema,
+    Schema,
+    Union,
+    iter_branches,
+)
+
+
+class ChangeKind(enum.Enum):
+    """What happened at a path."""
+
+    ADDED = "added"
+    REMOVED = "removed"
+    TYPE_CHANGED = "type-changed"
+    REQUIRED_TO_OPTIONAL = "required-to-optional"
+    OPTIONAL_TO_REQUIRED = "optional-to-required"
+    RESHAPED = "reshaped"  # tuple <-> collection
+    BOUNDS_CHANGED = "bounds-changed"  # array-tuple length bounds
+    DOMAIN_GREW = "domain-grew"
+    LENGTH_DRIFT = "length-drift"
+    ENTITY_ADDED = "entity-added"
+    ENTITY_REMOVED = "entity-removed"
+
+
+#: Changes that affect which records validate (the rest are
+#: informational statistics drift).
+BREAKING_KINDS = frozenset(
+    {
+        ChangeKind.ADDED,
+        ChangeKind.REMOVED,
+        ChangeKind.TYPE_CHANGED,
+        ChangeKind.REQUIRED_TO_OPTIONAL,
+        ChangeKind.OPTIONAL_TO_REQUIRED,
+        ChangeKind.RESHAPED,
+        ChangeKind.BOUNDS_CHANGED,
+        ChangeKind.ENTITY_ADDED,
+        ChangeKind.ENTITY_REMOVED,
+    }
+)
+
+
+@dataclass
+class SchemaChange:
+    """One reported difference."""
+
+    path: Path
+    kind: ChangeKind
+    detail: str
+
+    @property
+    def breaking(self) -> bool:
+        return self.kind in BREAKING_KINDS
+
+    def __str__(self) -> str:
+        return f"{render_path(self.path)}: {self.kind.value} ({self.detail})"
+
+
+@dataclass
+class SchemaDiff:
+    """All differences between two schemas."""
+
+    changes: List[SchemaChange] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.changes
+
+    def breaking_changes(self) -> List[SchemaChange]:
+        return [change for change in self.changes if change.breaking]
+
+    def summary(self) -> str:
+        if self.is_empty:
+            return "schemas are structurally identical"
+        breaking = len(self.breaking_changes())
+        return (
+            f"{len(self.changes)} change(s), {breaking} structural; "
+            + "; ".join(str(change) for change in self.changes[:8])
+            + (" ..." if len(self.changes) > 8 else "")
+        )
+
+
+def diff_schemas(old: Schema, new: Schema) -> SchemaDiff:
+    """Compare two schemas and report path-level changes."""
+    diff = SchemaDiff()
+    _diff(old, new, ROOT, diff)
+    return diff
+
+
+def _node_label(schema: Schema) -> str:
+    if isinstance(schema, PrimitiveSchema):
+        return schema.kind.value
+    return {
+        ObjectTuple: "object-tuple",
+        ArrayTuple: "array-tuple",
+        ObjectCollection: "object-collection",
+        ArrayCollection: "array-collection",
+        Union: "union",
+    }.get(type(schema), "never")
+
+
+def _similarity(old: Schema, new: Schema) -> float:
+    """Rough structural similarity used to pair union branches."""
+    if type(old) is not type(new):
+        return 0.0
+    if old == new:
+        return 1.0
+    if isinstance(old, ObjectTuple) and isinstance(new, ObjectTuple):
+        union_keys = old.all_keys | new.all_keys
+        if not union_keys:
+            return 1.0
+        return len(old.all_keys & new.all_keys) / len(union_keys)
+    return 0.5
+
+
+def _diff(old: Schema, new: Schema, path: Path, diff: SchemaDiff) -> None:
+    if old == new:
+        return
+    old_branches = list(iter_branches(old))
+    new_branches = list(iter_branches(new))
+    if len(old_branches) > 1 or len(new_branches) > 1:
+        _diff_unions(old_branches, new_branches, path, diff)
+        return
+    if isinstance(old, ObjectTuple) and isinstance(new, ObjectTuple):
+        _diff_object_tuples(old, new, path, diff)
+        return
+    if isinstance(old, ArrayTuple) and isinstance(new, ArrayTuple):
+        _diff_array_tuples(old, new, path, diff)
+        return
+    if isinstance(old, ObjectCollection) and isinstance(
+        new, ObjectCollection
+    ):
+        if new.domain - old.domain:
+            grown = len(new.domain - old.domain)
+            diff.changes.append(
+                SchemaChange(
+                    path,
+                    ChangeKind.DOMAIN_GREW,
+                    f"{grown} new key(s) observed",
+                )
+            )
+        _diff(old.value, new.value, path + ("*",), diff)
+        return
+    if isinstance(old, ArrayCollection) and isinstance(new, ArrayCollection):
+        if new.max_length_seen != old.max_length_seen:
+            diff.changes.append(
+                SchemaChange(
+                    path,
+                    ChangeKind.LENGTH_DRIFT,
+                    f"max length {old.max_length_seen} -> "
+                    f"{new.max_length_seen}",
+                )
+            )
+        _diff(old.element, new.element, path + ("*",), diff)
+        return
+    # Tuple <-> collection reinterpretation of the same JSON kind.
+    reshape_pairs = (
+        (ObjectTuple, ObjectCollection),
+        (ObjectCollection, ObjectTuple),
+        (ArrayTuple, ArrayCollection),
+        (ArrayCollection, ArrayTuple),
+    )
+    for old_type, new_type in reshape_pairs:
+        if isinstance(old, old_type) and isinstance(new, new_type):
+            diff.changes.append(
+                SchemaChange(
+                    path,
+                    ChangeKind.RESHAPED,
+                    f"{_node_label(old)} -> {_node_label(new)}",
+                )
+            )
+            return
+    diff.changes.append(
+        SchemaChange(
+            path,
+            ChangeKind.TYPE_CHANGED,
+            f"{_node_label(old)} -> {_node_label(new)}",
+        )
+    )
+
+
+def _diff_unions(
+    old_branches: List[Schema],
+    new_branches: List[Schema],
+    path: Path,
+    diff: SchemaDiff,
+) -> None:
+    remaining_new = list(new_branches)
+    for old_branch in old_branches:
+        best: Optional[Tuple[float, int]] = None
+        for index, new_branch in enumerate(remaining_new):
+            score = _similarity(old_branch, new_branch)
+            if score > 0 and (best is None or score > best[0]):
+                best = (score, index)
+        if best is None:
+            diff.changes.append(
+                SchemaChange(
+                    path,
+                    ChangeKind.ENTITY_REMOVED,
+                    f"{_node_label(old_branch)} alternative",
+                )
+            )
+            continue
+        matched = remaining_new.pop(best[1])
+        _diff(old_branch, matched, path, diff)
+    for new_branch in remaining_new:
+        diff.changes.append(
+            SchemaChange(
+                path,
+                ChangeKind.ENTITY_ADDED,
+                f"{_node_label(new_branch)} alternative",
+            )
+        )
+
+
+def _diff_object_tuples(
+    old: ObjectTuple, new: ObjectTuple, path: Path, diff: SchemaDiff
+) -> None:
+    for key in sorted(new.all_keys - old.all_keys):
+        diff.changes.append(
+            SchemaChange(path + (key,), ChangeKind.ADDED, "new field")
+        )
+    for key in sorted(old.all_keys - new.all_keys):
+        diff.changes.append(
+            SchemaChange(path + (key,), ChangeKind.REMOVED, "field gone")
+        )
+    for key in sorted(old.all_keys & new.all_keys):
+        was_required = key in old.required_keys
+        is_required = key in new.required_keys
+        if was_required and not is_required:
+            diff.changes.append(
+                SchemaChange(
+                    path + (key,),
+                    ChangeKind.REQUIRED_TO_OPTIONAL,
+                    "field became optional",
+                )
+            )
+        elif not was_required and is_required:
+            diff.changes.append(
+                SchemaChange(
+                    path + (key,),
+                    ChangeKind.OPTIONAL_TO_REQUIRED,
+                    "field became required",
+                )
+            )
+        _diff(
+            old.field_schema(key),
+            new.field_schema(key),
+            path + (key,),
+            diff,
+        )
+
+
+def _diff_array_tuples(
+    old: ArrayTuple, new: ArrayTuple, path: Path, diff: SchemaDiff
+) -> None:
+    if new.min_length != old.min_length or len(new.elements) != len(
+        old.elements
+    ):
+        diff.changes.append(
+            SchemaChange(
+                path,
+                ChangeKind.BOUNDS_CHANGED,
+                f"lengths [{old.min_length}, {len(old.elements)}] -> "
+                f"[{new.min_length}, {len(new.elements)}]",
+            )
+        )
+    overlap = min(len(old.elements), len(new.elements))
+    for index in range(overlap):
+        _diff(
+            old.elements[index], new.elements[index], path + (index,), diff
+        )
+    for index in range(overlap, len(new.elements)):
+        diff.changes.append(
+            SchemaChange(path + (index,), ChangeKind.ADDED, "new position")
+        )
+    for index in range(overlap, len(old.elements)):
+        diff.changes.append(
+            SchemaChange(
+                path + (index,), ChangeKind.REMOVED, "position gone"
+            )
+        )

@@ -1,0 +1,257 @@
+"""Record validation against discovered schemas.
+
+The paper's motivating use case: an operations engineer wants new
+records checked against the "typical" schema, with structural changes
+surfaced as validation failures.  :func:`validate_records` produces a
+:class:`ValidationReport` with per-record outcomes and, for failures,
+a best-effort *explanation* — which branch came closest and which
+paths diverged — since a bare reject is not actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.jsontypes.paths import Path, ROOT, render_path
+from repro.jsontypes.types import (
+    ArrayType,
+    JsonType,
+    JsonValue,
+    ObjectType,
+    PrimitiveType,
+    type_of,
+)
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    ObjectCollection,
+    ObjectTuple,
+    PrimitiveSchema,
+    Schema,
+    Union,
+    iter_branches,
+)
+
+
+@dataclass
+class Violation:
+    """One structural divergence between a record and a schema branch."""
+
+    path: Path
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{render_path(self.path)}: {self.reason}"
+
+
+@dataclass
+class RecordOutcome:
+    """Validation outcome of a single record."""
+
+    index: int
+    valid: bool
+    violations: List[Violation] = field(default_factory=list)
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate validation results over a collection of records."""
+
+    outcomes: List[RecordOutcome]
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def valid_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.valid)
+
+    @property
+    def invalid_count(self) -> int:
+        return self.total - self.valid_count
+
+    @property
+    def recall(self) -> float:
+        """Fraction of records accepted — Table 1's measure."""
+        if not self.outcomes:
+            return 1.0
+        return self.valid_count / self.total
+
+    def failures(self) -> List[RecordOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.valid]
+
+    def failure_indices(self) -> List[int]:
+        return [outcome.index for outcome in self.outcomes if not outcome.valid]
+
+
+def validate_type(schema: Schema, tau: JsonType) -> bool:
+    """Admission check for a record type (Definition 1)."""
+    return schema.admits_type(tau)
+
+
+def validate_records(
+    schema: Schema,
+    records: Iterable[JsonValue],
+    *,
+    explain: bool = False,
+) -> ValidationReport:
+    """Validate parsed JSON records against a schema.
+
+    ``explain=True`` attaches violations from the closest-matching
+    branch for every rejected record (slower).
+    """
+    outcomes: List[RecordOutcome] = []
+    for index, record in enumerate(records):
+        tau = type_of(record)
+        if schema.admits_type(tau):
+            outcomes.append(RecordOutcome(index=index, valid=True))
+            continue
+        violations: List[Violation] = []
+        if explain:
+            violations = explain_rejection(schema, tau)
+        outcomes.append(
+            RecordOutcome(index=index, valid=False, violations=violations)
+        )
+    return ValidationReport(outcomes)
+
+
+def explain_rejection(schema: Schema, tau: JsonType) -> List[Violation]:
+    """Violations against the *closest* top-level branch.
+
+    Closest = fewest violations; deterministic tie-break by branch
+    order.  Returns a single catch-all violation for :data:`NEVER`.
+    """
+    if schema is NEVER:
+        return [Violation(ROOT, "schema admits no records")]
+    best: Optional[List[Violation]] = None
+    for branch in iter_branches(schema):
+        violations = _collect_violations(branch, tau, ROOT)
+        if not violations:
+            return []
+        if best is None or len(violations) < len(best):
+            best = violations
+    return best or [Violation(ROOT, "no branches to compare")]
+
+
+def _collect_violations(
+    schema: Schema, tau: JsonType, path: Path
+) -> List[Violation]:
+    """All divergences between ``tau`` and one (non-union) branch."""
+    if schema is NEVER:
+        return [Violation(path, "schema admits no records")]
+    if isinstance(schema, Union):
+        candidates: List[List[Violation]] = [
+            _collect_violations(branch, tau, path)
+            for branch in schema.branches
+        ]
+        return min(candidates, key=len)
+    if isinstance(schema, PrimitiveSchema):
+        if isinstance(tau, PrimitiveType) and tau.kind == schema.kind:
+            return []
+        return [
+            Violation(
+                path,
+                f"expected {schema.kind.value}, found {tau.kind.value}",
+            )
+        ]
+    if isinstance(schema, ObjectTuple):
+        if not isinstance(tau, ObjectType):
+            return [
+                Violation(path, f"expected object, found {tau.kind.value}")
+            ]
+        violations: List[Violation] = []
+        present = tau.key_set()
+        for key in sorted(schema.required_keys - present):
+            violations.append(
+                Violation(path, f"missing required field {key!r}")
+            )
+        for key in sorted(present - schema.all_keys):
+            violations.append(Violation(path, f"unexpected field {key!r}"))
+        for key, value in tau.items():
+            if key in schema.all_keys:
+                violations.extend(
+                    _collect_violations(
+                        schema.field_schema(key), value, path + (key,)
+                    )
+                )
+        return violations
+    if isinstance(schema, ArrayTuple):
+        if not isinstance(tau, ArrayType):
+            return [
+                Violation(path, f"expected array, found {tau.kind.value}")
+            ]
+        violations = []
+        if len(tau) < schema.min_length:
+            violations.append(
+                Violation(
+                    path,
+                    f"array too short: {len(tau)} < {schema.min_length}",
+                )
+            )
+        if len(tau) > len(schema.elements):
+            violations.append(
+                Violation(
+                    path,
+                    f"array too long: {len(tau)} > {len(schema.elements)}",
+                )
+            )
+        for index in range(min(len(tau), len(schema.elements))):
+            violations.extend(
+                _collect_violations(
+                    schema.elements[index],
+                    tau.elements[index],
+                    path + (index,),
+                )
+            )
+        return violations
+    if isinstance(schema, ArrayCollection):
+        if not isinstance(tau, ArrayType):
+            return [
+                Violation(path, f"expected array, found {tau.kind.value}")
+            ]
+        violations = []
+        for index, value in enumerate(tau.elements):
+            violations.extend(
+                _collect_violations(schema.element, value, path + (index,))
+            )
+        return violations
+    if isinstance(schema, ObjectCollection):
+        if not isinstance(tau, ObjectType):
+            return [
+                Violation(path, f"expected object, found {tau.kind.value}")
+            ]
+        violations = []
+        for key, value in tau.items():
+            violations.extend(
+                _collect_violations(schema.value, value, path + (key,))
+            )
+        return violations
+    raise TypeError(f"not a schema: {schema!r}")
+
+
+def recall_against(
+    schema: Schema, test_types: Sequence[JsonType]
+) -> float:
+    """Fraction of test *types* admitted — the Table 1 measure."""
+    if not test_types:
+        return 1.0
+    admitted = sum(1 for tau in test_types if schema.admits_type(tau))
+    return admitted / len(test_types)
+
+
+def first_failures(
+    schema: Schema, records: Sequence[JsonValue], limit: int = 5
+) -> List[Tuple[int, List[Violation]]]:
+    """The first ``limit`` rejected records with explanations."""
+    failures: List[Tuple[int, List[Violation]]] = []
+    for index, record in enumerate(records):
+        tau = type_of(record)
+        if schema.admits_type(tau):
+            continue
+        failures.append((index, explain_rejection(schema, tau)))
+        if len(failures) >= limit:
+            break
+    return failures

@@ -1,0 +1,103 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.datasets import FIGURE1_RECORDS
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for JSON values and types.
+# ---------------------------------------------------------------------------
+
+#: Keys kept short and drawn from a small alphabet so that generated
+#: objects collide on keys often enough to exercise merging.
+json_keys = st.text(
+    alphabet="abcdefgh_", min_size=1, max_size=6
+)
+
+json_primitives = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+
+def json_values(max_leaves: int = 20):
+    """Arbitrary JSON values with bounded size."""
+    return st.recursive(
+        json_primitives,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(json_keys, children, max_size=4),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def json_objects(max_leaves: int = 20):
+    """Arbitrary JSON objects (dict at the top level)."""
+    return st.dictionaries(json_keys, json_values(max_leaves), max_size=5)
+
+
+key_sets = st.frozensets(
+    st.sampled_from("abcdefghijkl"), min_size=0, max_size=8
+)
+
+key_set_lists = st.lists(key_sets, min_size=1, max_size=12)
+
+
+# ---------------------------------------------------------------------------
+# Record fixtures.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def figure1_records():
+    """The two records from Figure 1 of the paper."""
+    return [dict(record) for record in FIGURE1_RECORDS]
+
+
+@pytest.fixture
+def login_serve_stream():
+    """A deterministic stream shaped like Figure 1 (20 records)."""
+    records = []
+    for index in range(20):
+        if index % 2 == 0:
+            records.append(
+                {
+                    "ts": index,
+                    "event": "login",
+                    "user": {
+                        "name": f"user{index}",
+                        "geo": [1.0 * index, -2.0 * index],
+                    },
+                }
+            )
+        else:
+            records.append(
+                {
+                    "ts": index,
+                    "event": "serve",
+                    "files": [f"f{j}.txt" for j in range(index % 4)],
+                }
+            )
+    return records
+
+
+@pytest.fixture
+def collection_like_records():
+    """Pharma-style records with a collection-like nested object."""
+    drugs = [f"DRUG_{index}" for index in range(40)]
+    records = []
+    for index in range(30):
+        chosen = {
+            drugs[(index * 7 + offset) % len(drugs)]: offset + 1
+            for offset in range(5)
+        }
+        records.append({"npi": index, "counts": chosen})
+    return records

@@ -1,0 +1,82 @@
+"""Tests for the dataset generator helper utilities."""
+
+import random
+
+import pytest
+
+from repro.datasets.base import (
+    DatasetGenerator,
+    hex_id,
+    iso_timestamp,
+    maybe,
+    mixture,
+    register_dataset,
+    sentence,
+    word,
+)
+from repro.errors import DatasetError
+
+
+class TestHelpers:
+    def test_word_deterministic(self):
+        assert word(random.Random(1)) == word(random.Random(1))
+        assert word(random.Random(1), 5) != word(random.Random(2), 5)
+
+    def test_word_length(self):
+        assert len(word(random.Random(0), 7)) == 7
+
+    def test_sentence_word_count(self):
+        text = sentence(random.Random(0), words=5)
+        assert len(text.split()) == 5
+
+    def test_hex_id_alphabet(self):
+        token = hex_id(random.Random(0), 30)
+        assert len(token) == 30
+        assert set(token) <= set("0123456789abcdef")
+
+    def test_iso_timestamp_shape(self):
+        stamp = iso_timestamp(random.Random(0), year=2019)
+        assert stamp.startswith("2019-")
+        assert stamp.endswith("Z")
+        assert len(stamp) == len("2019-01-01T00:00:00Z")
+
+    def test_maybe_probabilities(self):
+        rng = random.Random(0)
+        hits = sum(1 for _ in range(1000) if maybe(rng, 0.3))
+        assert 230 < hits < 370
+
+    def test_mixture_respects_weights(self):
+        rng = random.Random(0)
+        weighted = (("common", 90.0), ("rare", 10.0))
+        draws = [mixture(rng, weighted) for _ in range(1000)]
+        assert draws.count("common") > 800
+        assert draws.count("rare") > 30
+
+    def test_mixture_single_option(self):
+        assert mixture(random.Random(0), (("only", 1.0),)) == "only"
+
+
+class TestGeneratorBase:
+    def test_abstract_generate_labeled(self):
+        with pytest.raises(NotImplementedError):
+            DatasetGenerator().generate_labeled(1)
+
+    def test_register_requires_name(self):
+        @register_dataset
+        class Custom(DatasetGenerator):
+            name = "custom-test-only"
+            entity_labels = ("x",)
+
+            def generate_labeled(self, n, seed=0):
+                return [("x", {"v": i}) for i in range(n)]
+
+        from repro.datasets.base import make_dataset
+
+        generator = make_dataset("custom-test-only")
+        assert len(generator.generate(5)) == 5
+
+    def test_check_n_guards(self):
+        from repro.datasets import make_dataset
+
+        with pytest.raises(DatasetError):
+            make_dataset("figure1").generate_labeled(-1)

@@ -1,0 +1,207 @@
+"""Tests for the synthetic corpus generators."""
+
+import json
+
+import pytest
+
+from repro.datasets import (
+    DRUG_VOCABULARY_SIZE,
+    FIGURE1_RECORDS,
+    PAPER_DATASETS,
+    dataset_names,
+    make_dataset,
+)
+from repro.datasets.base import DatasetGenerator
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        for name in PAPER_DATASETS:
+            assert name in dataset_names()
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset("nope")
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset("github").generate_labeled(0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", PAPER_DATASETS)
+    def test_seeded_generation_is_reproducible(self, name):
+        generator = make_dataset(name)
+        first = generator.generate(50, seed=11)
+        second = generator.generate(50, seed=11)
+        assert first == second
+        different = generator.generate(50, seed=12)
+        assert first != different
+
+    @pytest.mark.parametrize("name", PAPER_DATASETS)
+    def test_records_are_json_serializable(self, name):
+        for record in make_dataset(name).generate(30, seed=1):
+            json.dumps(record)
+
+    @pytest.mark.parametrize("name", PAPER_DATASETS)
+    def test_labels_are_declared(self, name):
+        generator = make_dataset(name)
+        labeled = generator.generate_labeled(60, seed=2)
+        assert len(labeled) == 60
+        for label, _ in labeled:
+            assert label in generator.entity_labels
+
+    def test_default_size_used(self):
+        generator = make_dataset("figure1")
+        assert len(generator.generate()) == generator.default_size
+
+
+class TestStructuralFacts:
+    def test_figure1_constant_records(self):
+        assert FIGURE1_RECORDS[0]["event"] == "login"
+        assert len(FIGURE1_RECORDS[0]["user"]["geo"]) == 2
+        assert FIGURE1_RECORDS[1]["event"] == "serve"
+
+    def test_github_shared_envelope(self):
+        records = make_dataset("github").generate(100, seed=3)
+        envelope = {"id", "type", "actor", "repo", "payload", "public",
+                    "created_at"}
+        for record in records:
+            assert envelope <= set(record)
+            assert set(record) - envelope <= {"org"}
+
+    def test_github_delete_subset_of_create(self):
+        labeled = make_dataset("github").generate_labeled(2000, seed=3)
+        create_keys = set()
+        delete_keys = set()
+        for label, record in labeled:
+            if label == "CreateEvent":
+                create_keys |= set(record["payload"])
+            elif label == "DeleteEvent":
+                delete_keys |= set(record["payload"])
+        assert delete_keys and delete_keys < create_keys
+
+    def test_pharma_drug_domain(self):
+        from repro.datasets.pharma import drug_vocabulary
+
+        vocabulary = drug_vocabulary()
+        assert len(vocabulary) == DRUG_VOCABULARY_SIZE
+        assert len(set(vocabulary)) == DRUG_VOCABULARY_SIZE
+        records = make_dataset("pharma").generate(50, seed=4)
+        for record in records:
+            drugs = record["cms_prescription_counts"]
+            assert drugs
+            assert set(drugs) <= set(vocabulary)
+
+    def test_twitter_geo_pairs_fixed_length(self):
+        records = make_dataset("twitter").generate(400, seed=5)
+        saw_geo = False
+        for record in records:
+            coordinates = record.get("coordinates")
+            if coordinates:
+                saw_geo = True
+                assert len(coordinates["coordinates"]) == 2
+        assert saw_geo
+
+    def test_twitter_contains_deletes_and_retweets(self):
+        labeled = make_dataset("twitter").generate_labeled(500, seed=6)
+        labels = {label for label, _ in labeled}
+        assert labels == {"tweet", "delete"}
+        assert any(
+            "retweeted_status" in record
+            for label, record in labeled
+            if label == "tweet"
+        )
+
+    def test_twitter_recursion_bounded(self):
+        records = make_dataset("twitter").generate(300, seed=7)
+
+        def depth(record):
+            nested = record.get("retweeted_status") or record.get(
+                "quoted_status"
+            )
+            return 1 + depth(nested) if nested else 1
+
+        assert max(depth(r) for r in records if "delete" not in r) <= 3
+
+    def test_synapse_signatures_shape(self):
+        records = make_dataset("synapse").generate(200, seed=8)
+        for record in records:
+            for server, keys in record["signatures"].items():
+                assert isinstance(keys, dict)
+                for key_id, signature in keys.items():
+                    assert key_id.startswith("ed25519:")
+                    assert isinstance(signature, str)
+
+    def test_synapse_revision_drift(self):
+        records = make_dataset("synapse").generate(1000, seed=9)
+        early = records[:100]
+        late = records[-100:]
+        assert not any("auth_events" in r for r in early)
+        assert any("auth_events" in r for r in late)
+
+    def test_nyt_multimedia_mixes_entities(self):
+        records = make_dataset("nyt").generate(300, seed=10)
+        kinds = set()
+        for record in records:
+            for item in record["multimedia"]:
+                kinds.add(item["type"])
+        assert kinds == {"image", "slideshow", "video"}
+
+    def test_wikidata_claims_keyed_by_property(self):
+        records = make_dataset("wikidata").generate(30, seed=11)
+        for record in records:
+            assert record["claims"]
+            for property_id, statements in record["claims"].items():
+                assert property_id.startswith("P")
+                for statement in statements:
+                    assert statement["mainsnak"]["property"] == property_id
+
+    def test_yelp_checkin_pivot_shape(self):
+        records = make_dataset("yelp-checkin").generate(100, seed=12)
+        days = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+        for record in records:
+            for day, hours in record["time"].items():
+                assert day in days
+                for hour, count in hours.items():
+                    assert 0 <= int(hour) < 24
+                    assert count > 0
+
+    def test_yelp_business_salon_soft_fd(self):
+        records = make_dataset("yelp-business").generate(3000, seed=13)
+        salons = [
+            r for r in records if "Hair Salons" in r.get("categories", "")
+        ]
+        others = [
+            r
+            for r in records
+            if "Hair Salons" not in r.get("categories", "")
+        ]
+        assert salons and others
+        salon_rate = sum(
+            1
+            for r in salons
+            if "ByAppointmentOnly" in r.get("attributes", {})
+        ) / len(salons)
+        other_rate = sum(
+            1
+            for r in others
+            if "ByAppointmentOnly" in r.get("attributes", {})
+        ) / len(others)
+        assert salon_rate > 0.9
+        assert other_rate < 0.02
+
+    def test_yelp_photos_four_mandatory_fields(self):
+        records = make_dataset("yelp-photos").generate(50, seed=14)
+        for record in records:
+            assert set(record) == {
+                "photo_id", "business_id", "caption", "label",
+            }
+
+    def test_yelp_merged_mixture(self):
+        labeled = make_dataset("yelp-merged").generate_labeled(1200, seed=15)
+        labels = {label for label, _ in labeled}
+        assert labels == {
+            "business", "checkin", "photos", "review", "tip", "user",
+        }

@@ -1,0 +1,134 @@
+"""Tests for co-reference detection (§8 future work)."""
+
+from repro.datasets import make_dataset
+from repro.discovery import Jxplain
+from repro.discovery.coref import (
+    find_coreferences,
+    unify_coreferences,
+)
+from repro.schema.nodes import (
+    ArrayCollection,
+    NUMBER_S,
+    ObjectTuple,
+    STRING_S,
+    union,
+)
+
+
+def user_node(extra=None):
+    required = {
+        "id": NUMBER_S,
+        "name": STRING_S,
+        "screen_name": STRING_S,
+    }
+    optional = dict(extra or {})
+    return ObjectTuple(required, optional)
+
+
+class TestFindCoreferences:
+    def test_exact_repetition_detected(self):
+        schema = ObjectTuple(
+            {
+                "user": user_node(),
+                "retweeted": ObjectTuple({"user": user_node()}),
+            }
+        )
+        groups = find_coreferences(schema)
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.exact
+        assert group.occurrences == 2
+        assert ("user",) in group.paths
+        assert ("retweeted", "user") in group.paths
+
+    def test_near_equal_detected(self):
+        schema = ObjectTuple(
+            {
+                "author": user_node(),
+                "mention": user_node({"indices": NUMBER_S}),
+            }
+        )
+        groups = find_coreferences(schema, jaccard_threshold=0.7)
+        assert len(groups) == 1
+        assert not groups[0].exact
+        assert groups[0].unified.all_keys >= {
+            "id", "name", "screen_name", "indices",
+        }
+
+    def test_small_objects_ignored(self):
+        tiny = ObjectTuple({"a": NUMBER_S})
+        schema = ObjectTuple({"x": tiny, "y": tiny})
+        assert find_coreferences(schema) == []
+
+    def test_conflicting_fields_block_near_grouping(self):
+        first = ObjectTuple(
+            {"id": NUMBER_S, "name": STRING_S, "rank": NUMBER_S}
+        )
+        second = ObjectTuple(
+            {"id": NUMBER_S, "name": STRING_S, "rank": STRING_S}
+        )
+        schema = ObjectTuple({"a": first, "b": second})
+        groups = find_coreferences(schema, jaccard_threshold=0.5)
+        assert groups == []
+
+    def test_inside_collections_and_unions(self):
+        schema = union(
+            ObjectTuple({"items": ArrayCollection(user_node())}),
+            ObjectTuple({"owner": user_node()}),
+        )
+        groups = find_coreferences(schema)
+        assert len(groups) == 1
+        assert groups[0].occurrences == 2
+
+    def test_twitter_user_coreference(self):
+        """The paper's own example: tweet user objects recur under
+        retweeted/quoted statuses and mentions."""
+        records = make_dataset("twitter").generate(400, seed=3)
+        schema = Jxplain().discover(records)
+        groups = find_coreferences(schema)
+        user_groups = [
+            group
+            for group in groups
+            if "screen_name" in group.unified.all_keys
+            and "followers_count" in group.unified.all_keys
+        ]
+        assert user_groups
+        assert user_groups[0].occurrences >= 2
+
+    def test_describe_is_readable(self):
+        schema = ObjectTuple(
+            {"a": user_node(), "b": user_node()}
+        )
+        text = find_coreferences(schema)[0].describe()
+        assert "x2" in text
+        assert "$.a" in text and "$.b" in text
+
+
+class TestUnifyCoreferences:
+    def test_near_group_unified(self):
+        schema = ObjectTuple(
+            {
+                "author": user_node(),
+                "mention": user_node({"indices": NUMBER_S}),
+            }
+        )
+        unified, groups = unify_coreferences(schema, jaccard_threshold=0.7)
+        assert groups
+        author = unified.field_schema("author")
+        mention = unified.field_schema("mention")
+        assert author == mention
+        assert "indices" in author.optional_keys
+
+    def test_unification_preserves_recall(self):
+        records = make_dataset("twitter").generate(300, seed=5)
+        schema = Jxplain().discover(records)
+        unified, _ = unify_coreferences(schema)
+        for record in records:
+            assert unified.admits_value(record)
+
+    def test_exact_groups_left_alone(self):
+        node = user_node()
+        schema = ObjectTuple({"a": node, "b": node})
+        unified, groups = unify_coreferences(schema)
+        assert groups and groups[0].exact
+        assert unified == schema

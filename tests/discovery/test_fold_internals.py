@@ -1,0 +1,160 @@
+"""Unit tests for DecidedFolder's lift/combine/schema, piece by piece.
+
+The property suite checks the fold laws wholesale; these tests verify
+each accumulator type directly so a regression names the exact part.
+"""
+
+from repro.discovery.config import JxplainConfig
+from repro.discovery.fold import DecidedFolder, FoldNode
+from repro.discovery.jxplain import cluster_key_sets
+from repro.discovery.stat_tree import StatTree, decide_collections
+from repro.discovery.pipeline import (
+    FeatureExtractor,
+    TupleShapes,
+    build_partitioners,
+)
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.paths import ROOT
+from repro.jsontypes.types import type_of
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    ObjectCollection,
+    ObjectTuple,
+)
+
+
+def make_folder(records, config=None):
+    config = config or JxplainConfig()
+    types = [type_of(r) for r in records]
+    tree = StatTree.from_types(types)
+    decisions = decide_collections(tree, config)
+    extractor = FeatureExtractor(decisions, config)
+    shapes = TupleShapes()
+    for tau in types:
+        shapes.add(tau, decisions, extractor)
+    object_partitioners, array_partitioners = build_partitioners(
+        shapes, config
+    )
+    folder = DecidedFolder(
+        decisions,
+        object_partitioners,
+        array_partitioners,
+        config,
+        extractor=extractor,
+    )
+    return folder, types
+
+
+class TestLift:
+    def test_primitive_lift(self):
+        folder, types = make_folder([1, "x"])
+        node = folder.lift(types[0])
+        assert node.primitive_kinds == {Kind.NUMBER}
+        assert not node.object_entities
+        assert not node.array_entities
+
+    def test_object_tuple_lift(self):
+        folder, types = make_folder([{"a": 1, "b": "x"}] * 3)
+        node = folder.lift(types[0])
+        assert len(node.object_entities) == 1
+        acc = next(iter(node.object_entities.values()))
+        assert acc.required == {"a", "b"}
+        assert set(acc.fields) == {"a", "b"}
+
+    def test_object_collection_lift(self, collection_like_records):
+        folder, types = make_folder(collection_like_records)
+        node = folder.lift(types[0])
+        acc = next(iter(node.object_entities.values()))
+        counts_node = acc.fields["counts"]
+        assert counts_node.object_collection is not None
+        assert counts_node.object_collection.domain
+
+    def test_array_tuple_lift(self, login_serve_stream):
+        folder, types = make_folder(login_serve_stream)
+        login = next(t for t in types if "user" in t.keys())
+        node = folder.lift(login)
+        acc = next(iter(node.object_entities.values()))
+        geo = acc.fields["user"].object_entities
+        user_acc = next(iter(geo.values()))
+        geo_node = user_acc.fields["geo"]
+        arr = next(iter(geo_node.array_entities.values()))
+        assert arr.min_length == 2
+        assert len(arr.positions) == 2
+
+
+class TestCombine:
+    def test_required_keys_intersect(self):
+        folder, _ = make_folder([{"a": 1}, {"a": 1, "b": 2}])
+        left = folder.lift(type_of({"a": 1}))
+        right = folder.lift(type_of({"a": 1, "b": 2}))
+        merged = folder.combine(left, right)
+        acc = next(iter(merged.object_entities.values()))
+        assert acc.required == {"a"}
+        assert set(acc.fields) == {"a", "b"}
+
+    def test_array_entity_min_length(self, login_serve_stream):
+        records = [["x"], ["x", "y", "z"]]
+        folder, types = make_folder(records)
+        # Force tuple interpretation if lengths entropy <= 1 (2 lengths
+        # at 50/50 gives ln 2 < 1, so these arrays are tuples).
+        left = folder.lift(types[0])
+        right = folder.lift(types[1])
+        merged = folder.combine(left, right)
+        if merged.array_entities:
+            accs = list(merged.array_entities.values())
+            assert min(acc.min_length for acc in accs) == 1
+
+    def test_collection_domains_union(self, collection_like_records):
+        folder, types = make_folder(collection_like_records)
+        merged = folder.combine(
+            folder.lift(types[0]), folder.lift(types[1])
+        )
+        acc = next(iter(merged.object_entities.values()))
+        domain = acc.fields["counts"].object_collection.domain
+        first_keys = set(types[0].field("counts").keys())
+        second_keys = set(types[1].field("counts").keys())
+        assert domain == first_keys | second_keys
+
+    def test_combine_with_empty_is_identity(self, login_serve_stream):
+        folder, types = make_folder(login_serve_stream)
+        node = folder.lift(types[0])
+        assert folder.schema(
+            folder.combine(FoldNode(), node)
+        ) == folder.schema(node)
+        assert folder.schema(
+            folder.combine(node, FoldNode())
+        ) == folder.schema(node)
+
+
+class TestSchemaExtraction:
+    def test_empty_node_is_never(self, login_serve_stream):
+        folder, _ = make_folder(login_serve_stream)
+        assert folder.schema(FoldNode()) is NEVER
+
+    def test_single_record_schema_is_exactish(self):
+        folder, types = make_folder([{"a": 1, "b": [True, False]}])
+        schema = folder.schema(folder.lift(types[0]))
+        assert schema.admits_type(types[0])
+        assert isinstance(schema, ObjectTuple)
+        assert schema.required_keys == {"a", "b"}
+
+    def test_collection_node_schema(self, collection_like_records):
+        folder, types = make_folder(collection_like_records)
+        node = FoldNode()
+        for tau in types:
+            node = folder.combine(node, folder.lift(tau))
+        schema = folder.schema(node)
+        counts = schema.field_schema("counts")
+        assert isinstance(counts, ObjectCollection)
+
+    def test_unknown_path_fallbacks(self):
+        """Records at paths pass ① never saw fall back to the
+        data-independent defaults (tuple objects, collection arrays)."""
+        folder, _ = make_folder([{"a": 1}])
+        surprise = type_of({"never_seen": [1, 2, 3]})
+        schema = folder.schema(folder.lift(surprise))
+        assert schema.admits_type(surprise)
+        inner = schema.field_schema("never_seen")
+        assert isinstance(inner, ArrayCollection)

@@ -1,0 +1,144 @@
+"""Tests for the K-reduction (Algorithms 1–3) and its fold form."""
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.kreduce import (
+    KReduce,
+    merge_k,
+    merge_k_schemas,
+)
+from repro.errors import EmptyInputError
+from repro.jsontypes.types import type_of
+from repro.schema.nodes import (
+    ArrayCollection,
+    NEVER,
+    ObjectTuple,
+    Union,
+)
+from tests.conftest import json_values
+
+value_lists = st.lists(json_values(max_leaves=8), min_size=1, max_size=8)
+
+
+class TestMergeK:
+    def test_example1_overgeneralization(self, figure1_records):
+        """Example 1: K-reduce admits the invalid mixtures."""
+        schema = merge_k([type_of(r) for r in figure1_records])
+        assert schema.admits_value(figure1_records[0])
+        assert schema.admits_value(figure1_records[1])
+        # The false positives from the paper's Example 1:
+        assert schema.admits_value(
+            {
+                "ts": 9,
+                "event": "huh",
+                "user": {"name": "x", "geo": [1.0, 2.0]},
+                "files": ["a"],
+            }
+        )
+        assert schema.admits_value({"ts": 10, "event": "wat"})
+
+    def test_arrays_always_collections(self):
+        """Example 5's complaint: geo pairs become [number]*."""
+        schema = merge_k([type_of([1.0, 2.0]), type_of([3.0, 4.0])])
+        assert isinstance(schema, ArrayCollection)
+        assert schema.admits_value([1.0])
+        assert schema.admits_value([1.0] * 7)
+
+    def test_objects_always_tuples(self):
+        """Example 6's complaint: collection-like objects become
+        tuples, rejecting unseen keys."""
+        schema = merge_k(
+            [type_of({"DRUG_A": 1}), type_of({"DRUG_B": 2})]
+        )
+        assert isinstance(schema, ObjectTuple)
+        assert not schema.admits_value({"DRUG_C": 3})
+
+    def test_required_vs_optional(self):
+        schema = merge_k(
+            [type_of({"a": 1, "b": 2}), type_of({"a": 1, "c": 3})]
+        )
+        assert schema.required_keys == frozenset({"a"})
+        assert schema.optional_keys == frozenset({"b", "c"})
+
+    def test_mixed_kinds_union(self):
+        schema = merge_k([type_of(1), type_of("x"), type_of([1]), type_of({"a": 1})])
+        assert isinstance(schema, Union)
+        assert len(schema.branches) == 4
+
+    def test_nested_recursion(self):
+        schema = merge_k(
+            [
+                type_of({"user": {"name": "a"}}),
+                type_of({"user": {"name": "b", "age": 3}}),
+            ]
+        )
+        user_schema = schema.field_schema("user")
+        assert user_schema.required_keys == frozenset({"name"})
+        assert user_schema.optional_keys == frozenset({"age"})
+
+    def test_empty_arrays_only(self):
+        schema = merge_k([type_of([]), type_of([])])
+        assert schema.admits_value([])
+        assert not schema.admits_value([1])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(EmptyInputError):
+            merge_k([])
+
+    @given(value_lists)
+    def test_admits_all_training_records(self, values):
+        """K-reduce has recall 1.0 on its own training data."""
+        schema = KReduce().discover(values)
+        for value in values:
+            assert schema.admits_value(value)
+
+    @given(value_lists)
+    def test_generalizes_lreduce(self, values):
+        """Everything the L-reduction admits, K-reduction admits too."""
+        from repro.discovery.lreduce import merge_naive
+
+        types = [type_of(v) for v in values]
+        naive = merge_naive(types)
+        kreduce = merge_k(types)
+        for tau in types:
+            assert naive.admits_type(tau)
+            assert kreduce.admits_type(tau)
+
+
+class TestDistributivity:
+    """merge_K(R1 ∪ R2) == merge_K_schemas(merge_K(R1), merge_K(R2))."""
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=50)
+    def test_distributes_over_union(self, left_values, right_values):
+        left = merge_k([type_of(v) for v in left_values])
+        right = merge_k([type_of(v) for v in right_values])
+        combined = merge_k(
+            [type_of(v) for v in left_values + right_values]
+        )
+        assert merge_k_schemas(left, right) == combined
+
+    @given(value_lists)
+    @settings(max_examples=50)
+    def test_fold_equals_batch(self, values):
+        """Folding per-record schemas pairwise reproduces the batch
+        merge — the property that makes K-reduce distributable."""
+        per_record = [merge_k([type_of(v)]) for v in values]
+        folded = functools.reduce(merge_k_schemas, per_record, NEVER)
+        assert folded == merge_k([type_of(v) for v in values])
+
+    def test_identity_element(self):
+        schema = merge_k([type_of({"a": 1})])
+        assert merge_k_schemas(NEVER, schema) == schema
+        assert merge_k_schemas(schema, NEVER) == schema
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=30)
+    def test_commutative(self, left_values, right_values):
+        left = merge_k([type_of(v) for v in left_values])
+        right = merge_k([type_of(v) for v in right_values])
+        assert merge_k_schemas(left, right) == merge_k_schemas(right, left)

@@ -1,0 +1,59 @@
+"""Tests for the L-reduction (naive discovery)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.discovery.lreduce import LReduce, merge_naive
+from repro.errors import EmptyInputError
+from repro.jsontypes.types import type_of
+from tests.conftest import json_values
+
+
+class TestMergeNaive:
+    def test_admits_exactly_the_inputs(self, figure1_records):
+        types = [type_of(record) for record in figure1_records]
+        schema = merge_naive(types)
+        for record in figure1_records:
+            assert schema.admits_value(record)
+        # Example 1's invalid mixtures are rejected.
+        assert not schema.admits_value({"ts": 10, "event": "wat"})
+
+    def test_rejects_unseen_variations(self):
+        schema = merge_naive([type_of({"a": 1})])
+        assert not schema.admits_value({"a": 1, "b": 2})
+        assert not schema.admits_value({})
+        assert not schema.admits_value({"a": "str"})
+
+    def test_rejects_unseen_array_lengths(self):
+        schema = merge_naive([type_of(["x", "y"])])
+        assert not schema.admits_value(["x"])
+        assert not schema.admits_value(["x", "y", "z"])
+
+    def test_duplicates_deduplicate(self):
+        types = [type_of({"a": 1}), type_of({"a": 2.0}), type_of({"a": 3})]
+        schema = merge_naive(types)
+        # All three values share one type; the schema is a single node.
+        from repro.schema.nodes import ObjectTuple
+
+        assert isinstance(schema, ObjectTuple)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(EmptyInputError):
+            merge_naive([])
+        with pytest.raises(EmptyInputError):
+            LReduce().discover([])
+
+    @given(st.lists(json_values(max_leaves=8), min_size=1, max_size=6))
+    def test_perfect_precision_and_recall_on_training(self, values):
+        """L-reduction admits every training record (recall 1.0 on the
+        training set) and nothing structurally new."""
+        schema = LReduce().discover(values)
+        for value in values:
+            assert schema.admits_value(value)
+
+    @given(st.lists(json_values(max_leaves=8), min_size=1, max_size=6))
+    def test_order_independent(self, values):
+        forward = merge_naive([type_of(v) for v in values])
+        backward = merge_naive([type_of(v) for v in reversed(values)])
+        assert forward == backward

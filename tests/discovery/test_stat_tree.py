@@ -1,0 +1,168 @@
+"""Tests for the pass-① statistics tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery.config import JxplainConfig
+from repro.discovery.stat_tree import (
+    StatTree,
+    collection_paths,
+    decide_collections,
+    entropy_profile,
+)
+from repro.heuristics.collection import Designation
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.paths import STAR
+from repro.jsontypes.types import type_of
+from tests.conftest import json_values
+
+value_lists = st.lists(json_values(max_leaves=8), min_size=1, max_size=8)
+
+
+class TestStatTree:
+    def test_accumulates_evidence_per_path(self, login_serve_stream):
+        tree = StatTree.from_types(
+            [type_of(r) for r in login_serve_stream]
+        )
+        assert tree.object_evidence is not None
+        assert tree.object_evidence.record_count == len(login_serve_stream)
+        user = tree.children["user"]
+        geo = user.children["geo"]
+        assert geo.array_evidence.max_length == 2
+
+    def test_primitive_kinds_counted(self):
+        tree = StatTree.from_types([type_of(1), type_of("x"), type_of(2)])
+        assert tree.primitive_kinds[Kind.NUMBER] == 2
+        assert tree.primitive_kinds[Kind.STRING] == 1
+
+    def test_rejects_non_types(self):
+        with pytest.raises(TypeError):
+            StatTree().add("not a type")
+
+    @given(value_lists, st.integers(0, 7))
+    @settings(max_examples=50)
+    def test_merge_equals_sequential(self, values, cut_at):
+        """Stat trees are a monoid: split-and-merge equals one scan."""
+        types = [type_of(v) for v in values]
+        cut = min(cut_at, len(types))
+        left = StatTree.from_types(types[:cut])
+        right = StatTree.from_types(types[cut:])
+        merged = left.merge(right)
+        sequential = StatTree.from_types(types)
+        config = JxplainConfig()
+        assert decide_collections(merged, config) == decide_collections(
+            sequential, config
+        )
+
+    @given(value_lists)
+    @settings(max_examples=30)
+    def test_merge_commutative_on_decisions(self, values):
+        types = [type_of(v) for v in values]
+        half = len(types) // 2
+        left = StatTree.from_types(types[:half])
+        right = StatTree.from_types(types[half:])
+        config = JxplainConfig()
+        assert decide_collections(
+            left.merge(right), config
+        ) == decide_collections(right.merge(left), config)
+
+
+class TestDecisions:
+    def test_collection_children_merge_under_star(
+        self, collection_like_records
+    ):
+        tree = StatTree.from_types(
+            [type_of(r) for r in collection_like_records]
+        )
+        decisions = decide_collections(tree, JxplainConfig())
+        assert decisions[(("counts",), Kind.OBJECT)] is Designation.COLLECTION
+        # The merged star child gets its own decision entry only if it
+        # is complex; here values are numbers, so no star entry exists.
+        assert (("counts", STAR), Kind.OBJECT) not in decisions
+
+    def test_root_decision_present(self, login_serve_stream):
+        tree = StatTree.from_types(
+            [type_of(r) for r in login_serve_stream]
+        )
+        decisions = decide_collections(tree, JxplainConfig())
+        assert decisions[((), Kind.OBJECT)] is Designation.TUPLE
+
+    def test_config_toggles_respected(self, collection_like_records):
+        tree = StatTree.from_types(
+            [type_of(r) for r in collection_like_records]
+        )
+        config = JxplainConfig(detect_object_collections=False)
+        decisions = decide_collections(tree, config)
+        assert decisions[(("counts",), Kind.OBJECT)] is Designation.TUPLE
+
+    def test_collection_paths_helper(self, collection_like_records):
+        tree = StatTree.from_types(
+            [type_of(r) for r in collection_like_records]
+        )
+        decisions = decide_collections(tree, JxplainConfig())
+        assert ("counts",) in collection_paths(decisions)
+
+    def test_two_level_collection(self):
+        """Synapse-style signatures: {server: {key: sig}}."""
+        records = []
+        for index in range(60):
+            records.append(
+                {
+                    "sig": {
+                        f"server{index % 17}.org": {
+                            f"key{index % 13}": "abc"
+                        }
+                    }
+                }
+            )
+        tree = StatTree.from_types([type_of(r) for r in records])
+        decisions = decide_collections(tree, JxplainConfig())
+        assert decisions[(("sig",), Kind.OBJECT)] is Designation.COLLECTION
+        assert (
+            decisions[(("sig", STAR), Kind.OBJECT)]
+            is Designation.COLLECTION
+        )
+
+
+class TestEntropyProfile:
+    def test_profile_reports_complex_paths(self, login_serve_stream):
+        tree = StatTree.from_types(
+            [type_of(r) for r in login_serve_stream]
+        )
+        # With the similar-only filter (Figure 4's caption) only paths
+        # whose nested elements share a type remain: root objects mix
+        # kinds across fields, so only the leaf collections survive.
+        filtered = {
+            (p.path, p.kind) for p in entropy_profile(tree)
+        }
+        assert (("user", "geo"), Kind.ARRAY) in filtered
+        assert (("files",), Kind.ARRAY) in filtered
+        assert ((), Kind.OBJECT) not in filtered
+        unfiltered = {
+            (p.path, p.kind)
+            for p in entropy_profile(tree, similar_only=False)
+        }
+        assert ((), Kind.OBJECT) in unfiltered
+        assert (("user",), Kind.OBJECT) in unfiltered
+
+    def test_similar_only_filter(self):
+        records = [{"mix": {"a": 1}}, {"mix": {"a": "s"}}]
+        tree = StatTree.from_types([type_of(r) for r in records])
+        filtered = entropy_profile(tree, similar_only=True)
+        unfiltered = entropy_profile(tree, similar_only=False)
+        filtered_paths = {p.path for p in filtered}
+        unfiltered_paths = {p.path for p in unfiltered}
+        assert ("mix",) not in filtered_paths
+        assert ("mix",) in unfiltered_paths
+
+    def test_bimodal_on_mixed_stream(self, login_serve_stream,
+                                     collection_like_records):
+        """Figure 4's claim: entropies cluster near zero (tuples) or
+        well above the threshold (collections)."""
+        records = login_serve_stream + collection_like_records
+        tree = StatTree.from_types([type_of(r) for r in records])
+        entropies = [p.entropy for p in entropy_profile(tree)]
+        middle = [e for e in entropies if 0.5 < e < 1.5]
+        extremes = [e for e in entropies if e <= 0.5 or e >= 1.5]
+        assert len(extremes) > len(middle)

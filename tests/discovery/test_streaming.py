@@ -1,0 +1,114 @@
+"""Tests for incremental (streaming) discovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_dataset
+from repro.discovery import (
+    Jxplain,
+    KReduce,
+    StreamingJxplain,
+    StreamingKReduce,
+)
+from repro.errors import EmptyInputError
+from tests.conftest import json_values
+
+value_lists = st.lists(json_values(max_leaves=6), min_size=1, max_size=10)
+
+
+class TestStreamingKReduce:
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_exactly_matches_batch(self, values):
+        """The stream equals the batch K-reduce at every prefix."""
+        stream = StreamingKReduce()
+        for index, value in enumerate(values):
+            stream.observe(value)
+            batch = KReduce().discover(values[: index + 1])
+            assert stream.current_schema() == batch
+
+    def test_counts(self):
+        stream = StreamingKReduce()
+        stream.observe_many([{"a": 1}, {"a": 2}])
+        assert stream.record_count == 2
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(EmptyInputError):
+            StreamingKReduce().current_schema()
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_with(self, left_values, right_values):
+        """Two independently-fed streams merge to the joint schema."""
+        left = StreamingKReduce()
+        left.observe_many(left_values)
+        right = StreamingKReduce()
+        right.observe_many(right_values)
+        merged = left.merge_with(right)
+        assert merged.current_schema() == KReduce().discover(
+            left_values + right_values
+        )
+        assert merged.record_count == len(left_values) + len(right_values)
+
+
+class TestStreamingJxplain:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StreamingJxplain(resynthesize_after=0)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(EmptyInputError):
+            StreamingJxplain().current_schema()
+
+    def test_matches_batch_after_full_stream(self, login_serve_stream):
+        stream = StreamingJxplain()
+        stream.observe_many(login_serve_stream)
+        # current_schema forces synthesis over every retained type;
+        # duplicates collapse, so this equals batch discovery over the
+        # distinct types.
+        from repro.jsontypes.types import type_of
+        from repro.discovery import jxplain_merge
+
+        distinct = list(
+            dict.fromkeys(type_of(r) for r in login_serve_stream)
+        )
+        assert stream.current_schema() == jxplain_merge(distinct)
+
+    def test_duplicates_are_not_novel(self):
+        stream = StreamingJxplain()
+        assert stream.observe({"a": 1}) is True
+        assert stream.observe({"a": 2}) is False  # same type
+        assert stream.retained_types == 1
+
+    def test_novelty_triggers_resynthesis(self):
+        stream = StreamingJxplain(resynthesize_after=2)
+        stream.observe({"a": 1})
+        schema_before = stream.current_schema()
+        # Two novel shapes force an automatic rebuild.
+        stream.observe({"a": 1, "b": 2})
+        stream.observe({"a": 1, "c": 3})
+        assert stream._novel_since_synthesis == 0
+        assert stream.current_schema() != schema_before
+
+    def test_validates_live(self):
+        records = make_dataset("figure1").generate(120, seed=3)
+        stream = StreamingJxplain()
+        stream.observe_many(records[:100])
+        accepted = sum(
+            1 for record in records[100:] if stream.validates(record)
+        )
+        assert accepted >= 18  # new records of known shapes pass
+
+    def test_novel_count_decreases_as_schema_stabilizes(self):
+        records = make_dataset("github").generate(600, seed=5)
+        stream = StreamingJxplain(resynthesize_after=8)
+        early_novel = stream.observe_many(records[:300])
+        late_novel = stream.observe_many(records[300:])
+        assert late_novel < early_novel
+
+    def test_retention_bound(self):
+        stream = StreamingJxplain(max_retained=5)
+        for index in range(20):
+            stream.observe({f"field{index}": index})
+        assert stream.retained_types == 5

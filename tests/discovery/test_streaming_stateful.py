@@ -1,0 +1,66 @@
+"""Stateful property testing of the streaming discoverers.
+
+Hypothesis drives a random interleaving of observations and queries;
+the invariants must hold at every step:
+
+* both streams' current schemas admit every record observed so far;
+* StreamingKReduce stays exactly equal to the batch K-reduction;
+* StreamingJxplain's schema admits no fewer training records after
+  more observations (monotone coverage of the observed set).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.discovery import KReduce, StreamingJxplain, StreamingKReduce
+from tests.conftest import json_values
+
+
+class StreamingMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.kreduce = StreamingKReduce()
+        self.jxplain = StreamingJxplain(resynthesize_after=3)
+        self.observed = []
+
+    @rule(record=json_values(max_leaves=6))
+    def observe(self, record):
+        self.kreduce.observe(record)
+        self.jxplain.observe(record)
+        self.observed.append(record)
+
+    @rule(records=st.lists(json_values(max_leaves=4), max_size=4))
+    def observe_batch(self, records):
+        self.kreduce.observe_many(records)
+        self.jxplain.observe_many(records)
+        self.observed.extend(records)
+
+    @invariant()
+    def schemas_cover_observed(self):
+        if not self.observed:
+            return
+        k_schema = self.kreduce.current_schema()
+        j_schema = self.jxplain.current_schema()
+        for record in self.observed:
+            assert k_schema.admits_value(record)
+            assert j_schema.admits_value(record)
+
+    @invariant()
+    def kreduce_matches_batch(self):
+        if not self.observed:
+            return
+        assert self.kreduce.current_schema() == KReduce().discover(
+            self.observed
+        )
+
+
+StreamingMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestStreaming = StreamingMachine.TestCase

@@ -1,0 +1,65 @@
+"""Tests for timers and memory estimation."""
+
+import time
+
+from repro.engine.instrument import StageTimer, deep_size_bytes
+
+
+class TestStageTimer:
+    def test_accumulates_per_stage(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            time.sleep(0.01)
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        rows = timer.rows()
+        assert [name for name, _, _ in rows] == ["a", "b"]
+        assert rows[0][2] == 2  # two invocations of stage a
+        assert timer.seconds("a") >= 0.01
+        assert timer.milliseconds("a") >= 10.0
+
+    def test_total(self):
+        timer = StageTimer()
+        with timer.stage("x"):
+            pass
+        assert timer.total_seconds >= 0.0
+        assert timer.total_milliseconds == 1000.0 * timer.total_seconds
+
+    def test_unknown_stage_is_zero(self):
+        assert StageTimer().seconds("nope") == 0.0
+
+    def test_exception_still_recorded(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert timer.seconds("boom") >= 0.0
+        assert timer.rows()[0][2] == 1
+
+
+class TestDeepSize:
+    def test_larger_structures_cost_more(self):
+        small = {"a": 1}
+        large = {f"key{i}": list(range(10)) for i in range(100)}
+        assert deep_size_bytes(large) > deep_size_bytes(small)
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        aliased = [shared, shared, shared]
+        copied = [list(range(1000)), list(range(1000)), list(range(1000))]
+        assert deep_size_bytes(aliased) < deep_size_bytes(copied)
+
+    def test_cycles_terminate(self):
+        loop = []
+        loop.append(loop)
+        assert deep_size_bytes(loop) > 0
+
+    def test_slots_objects(self):
+        from repro.jsontypes.types import type_of
+
+        tau = type_of({"a": [1, 2, {"b": "c"}]})
+        assert deep_size_bytes(tau) > 0

@@ -1,0 +1,105 @@
+"""Tests for feature-vector preprocessing (§6.4)."""
+
+from repro.entities.features import (
+    FeatureVectorSet,
+    extract_feature_vectors,
+    feature_memory_profile,
+    top_level_key_set,
+    type_paths,
+)
+from repro.jsontypes.paths import STAR
+from repro.jsontypes.types import type_of
+
+
+class TestTypePaths:
+    def test_flat_object(self):
+        tau = type_of({"a": 1, "b": "x"})
+        assert type_paths(tau) == frozenset({("a",), ("b",)})
+
+    def test_nested_paths(self):
+        tau = type_of({"a": {"b": 1}, "c": [True]})
+        assert type_paths(tau) == frozenset(
+            {("a",), ("a", "b"), ("c",), ("c", 0)}
+        )
+
+    def test_collection_pruning(self):
+        tau = type_of({"counts": {"drug1": 1, "drug2": 2}, "id": 7})
+        pruned = type_paths(
+            tau, collection_paths=frozenset({("counts",)})
+        )
+        # The collection path itself remains a feature; its internal
+        # keys do not.
+        assert pruned == frozenset({("counts",), ("id",)})
+
+    def test_collection_generalization_without_pruning(self):
+        tau = type_of({"counts": {"drug1": {"q": 1}, "drug2": {"q": 2}}})
+        features = type_paths(
+            tau,
+            collection_paths=frozenset({("counts",)}),
+            prune_nested=False,
+        )
+        assert ("counts", STAR) in features
+        assert ("counts", STAR, "q") in features
+        assert ("counts", "drug1") not in features
+
+    def test_root_never_a_feature(self):
+        assert () not in type_paths(type_of({"a": 1}))
+
+    def test_top_level_key_set(self):
+        tau = type_of({"a": 1, "b": 2})
+        assert top_level_key_set(tau) == frozenset({"a", "b"})
+
+
+class TestFeatureVectorSet:
+    def test_counts_and_distinct(self):
+        types = [type_of({"a": 1}), type_of({"a": 2}), type_of({"b": 1})]
+        fvs = extract_feature_vectors(types)
+        assert fvs.total == 3
+        assert fvs.distinct == 2
+
+    def test_vocabulary_sorted_and_complete(self):
+        types = [type_of({"b": 1}), type_of({"a": 1})]
+        fvs = extract_feature_vectors(types)
+        assert set(fvs.vocabulary()) == {("a",), ("b",)}
+
+    def test_dense_matrix_roundtrip(self):
+        types = [type_of({"a": 1, "b": 2}), type_of({"a": 1})]
+        fvs = extract_feature_vectors(types)
+        matrix, vocab, ordering = fvs.dense_matrix()
+        assert matrix.shape == (2, 2)
+        for row, vector in enumerate(ordering):
+            present = {vocab[i] for i in range(len(vocab)) if matrix[row, i]}
+            assert present == set(vector)
+
+    def test_memory_estimates_positive(self):
+        types = [type_of({"a": 1})]
+        fvs = extract_feature_vectors(types)
+        assert fvs.sparse_memory_bytes() > 0
+        assert fvs.dense_memory_bytes() > 0
+
+
+class TestMemoryProfile:
+    def test_pruning_reduces_distinct_vectors(self):
+        """Figure 5's effect: nested collections multiply distinct
+        feature vectors; pruning collapses them."""
+        types = []
+        for index in range(40):
+            record = {
+                "id": index,
+                "counts": {f"drug{index}_{j}": j for j in range(4)},
+            }
+            types.append(type_of(record))
+        profile = feature_memory_profile(
+            types, collection_paths=frozenset({("counts",)})
+        )
+        assert profile.pruned_distinct_vectors < profile.distinct_vectors
+        assert profile.pruned_sparse_bytes < profile.sparse_bytes
+        assert len(profile.rows()) == 4
+
+    def test_dense_beats_sparse_on_mandatory_flat(self):
+        """Dense encoding wins when most fields are mandatory."""
+        types = [
+            type_of({f"f{i}": 1 for i in range(30)}) for _ in range(20)
+        ]
+        profile = feature_memory_profile(types, frozenset())
+        assert profile.dense_bytes < profile.sparse_bytes

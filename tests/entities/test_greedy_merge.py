@@ -1,0 +1,121 @@
+"""Tests for GreedyMerge (Algorithm 8), including Example 11."""
+
+from hypothesis import given
+
+from repro.entities.bimax import EntityCluster, bimax_naive
+from repro.entities.greedy_merge import bimax_merge, greedy_merge
+from tests.conftest import key_set_lists
+
+
+def fs(*keys):
+    return frozenset(keys)
+
+
+def cluster(*keys):
+    maximal = fs(*keys)
+    return EntityCluster(maximal=maximal, members=[maximal])
+
+
+class TestExample11:
+    """The paper's worked example of GreedyMerge."""
+
+    def test_example11(self):
+        clusters = [
+            cluster("A", "B", "E"),   # E1
+            cluster("B", "C", "E"),   # E2
+            cluster("C", "D", "E"),   # E3
+            cluster("B", "D"),        # E4 (smallest, processed first)
+        ]
+        merged = greedy_merge(clusters)
+        assert len(merged) == 2
+        # The first emitted entity is E4 merged with its cover E2, E3.
+        combined = merged[0]
+        assert combined.maximal == fs("B", "C", "D", "E")
+        assert combined.synthesized
+        # E1 remains alone: it cannot cover the combined entity.
+        assert merged[1].maximal == fs("A", "B", "E")
+        assert not merged[1].synthesized
+
+
+class TestGreedyMerge:
+    def test_fragmented_entity_coalesces(self):
+        """Example 10's setting: optional fields fragment one entity;
+        the fragments cover each other and merge back."""
+        fragments = bimax_naive(
+            [
+                fs("id", "a", "b"),
+                fs("id", "b", "c"),
+                fs("id", "a", "c"),
+            ]
+        )
+        assert len(fragments) == 3
+        merged = greedy_merge(fragments)
+        assert len(merged) == 1
+        assert merged[0].maximal == fs("id", "a", "b", "c")
+
+    def test_unique_keys_prevent_merging(self):
+        """Entities owning a key nothing else has stay separate, even
+        when they share foreign keys."""
+        clusters = bimax_naive(
+            [
+                fs("business_id", "review_id", "text"),
+                fs("business_id", "photo_id", "label"),
+            ]
+        )
+        merged = greedy_merge(clusters)
+        assert len(merged) == 2
+
+    def test_subset_entity_absorbed(self):
+        """A cluster whose maximal is covered by one superset merges
+        into it — the GitHub subset-event behaviour of Table 3."""
+        clusters = bimax_naive(
+            [
+                fs("ref", "ref_type", "pusher", "desc"),   # CreateEvent
+                fs("ref", "ref_type", "pusher"),           # DeleteEvent
+            ]
+        )
+        # Delete ⊆ Create: Bimax-Naive already absorbs it as a subset.
+        assert len(greedy_merge(clusters)) == 1
+
+    def test_empty_input(self):
+        assert greedy_merge([]) == []
+
+    def test_single_cluster_passthrough(self):
+        merged = greedy_merge([cluster("a", "b")])
+        assert len(merged) == 1
+        assert merged[0].maximal == fs("a", "b")
+
+    def test_members_are_preserved(self):
+        clusters = bimax_naive([fs("id", "a"), fs("id", "b")])
+        merged = greedy_merge(clusters)
+        all_members = [m for c in merged for m in c.members]
+        assert sorted(all_members, key=repr) == sorted(
+            [fs("id", "a"), fs("id", "b")], key=repr
+        )
+
+    @given(key_set_lists)
+    def test_never_loses_records(self, key_sets):
+        distinct = set(key_sets)
+        merged = bimax_merge(key_sets)
+        members = [m for c in merged for m in c.members]
+        assert set(members) == distinct
+        assert len(members) == len(distinct)
+
+    @given(key_set_lists)
+    def test_merge_never_increases_count(self, key_sets):
+        naive = bimax_naive(key_sets)
+        merged = greedy_merge(naive)
+        assert len(merged) <= len(naive)
+        assert (not key_sets) or len(merged) >= 1
+
+    @given(key_set_lists)
+    def test_members_within_maximal(self, key_sets):
+        for entity in bimax_merge(key_sets):
+            for member in entity.members:
+                assert member <= entity.maximal
+
+    @given(key_set_lists)
+    def test_terminates_deterministically(self, key_sets):
+        first = bimax_merge(key_sets)
+        second = bimax_merge(key_sets)
+        assert [c.maximal for c in first] == [c.maximal for c in second]

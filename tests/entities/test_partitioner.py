@@ -1,0 +1,81 @@
+"""Tests for the deterministic entity partitioner."""
+
+import pytest
+from hypothesis import given
+
+from repro.entities.bimax import EntityCluster, bimax_naive
+from repro.entities.partitioner import EntityPartitioner
+from tests.conftest import key_set_lists
+
+
+def fs(*keys):
+    return frozenset(keys)
+
+
+def make_partitioner(*maximals):
+    clusters = [
+        EntityCluster(maximal=fs(*keys), members=[fs(*keys)])
+        for keys in maximals
+    ]
+    return EntityPartitioner(clusters)
+
+
+class TestAssign:
+    def test_member_match_wins(self):
+        clusters = [
+            EntityCluster(maximal=fs("a", "b"), members=[fs("a")]),
+            EntityCluster(maximal=fs("a", "z"), members=[fs("a", "z")]),
+        ]
+        partitioner = EntityPartitioner(clusters)
+        assert partitioner.assign(fs("a")) == 0
+
+    def test_smallest_superset_wins(self):
+        partitioner = make_partitioner(("a", "b", "c", "d"), ("a", "b"))
+        assert partitioner.assign(fs("a")) == 1
+
+    def test_overlap_fallback(self):
+        partitioner = make_partitioner(("a", "b"), ("x", "y", "z"))
+        # {x, q} matches no maximal superset; best overlap is entity 1.
+        assert partitioner.assign(fs("x", "q")) == 1
+
+    def test_no_overlap_is_still_assigned(self):
+        partitioner = make_partitioner(("a",), ("b",))
+        assert partitioner.assign(fs("zzz")) in (0, 1)
+
+    def test_deterministic(self):
+        partitioner = make_partitioner(("a", "b"), ("b", "c"))
+        assignments = [partitioner.assign(fs("b")) for _ in range(10)]
+        assert len(set(assignments)) == 1
+
+    def test_empty_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            EntityPartitioner([])
+
+
+class TestPartition:
+    def test_groups_align_with_assignments(self):
+        partitioner = make_partitioner(("a", "b"), ("x", "y"))
+        items = ["r1", "r2", "r3"]
+        key_sets = [fs("a"), fs("x"), fs("a", "b")]
+        groups = partitioner.partition(items, key_sets)
+        assert groups == [["r1", "r3"], ["r2"]]
+
+    def test_length_mismatch_rejected(self):
+        partitioner = make_partitioner(("a",))
+        with pytest.raises(ValueError):
+            partitioner.partition(["x"], [])
+
+    def test_non_empty_groups_drops_empties(self):
+        partitioner = make_partitioner(("a",), ("b",))
+        groups = partitioner.non_empty_groups(["r"], [fs("a")])
+        assert groups == [["r"]]
+
+    @given(key_set_lists)
+    def test_training_members_return_home(self, key_sets):
+        """Every key-set used to build the clusters is assigned to a
+        cluster that actually contains it."""
+        clusters = bimax_naive(key_sets)
+        partitioner = EntityPartitioner(clusters)
+        for key_set in set(key_sets):
+            index = partitioner.assign(key_set)
+            assert key_set in clusters[index].members

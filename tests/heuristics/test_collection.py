@@ -1,0 +1,170 @@
+"""Tests for collection detection (§5, Algorithm 5)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.heuristics.collection import (
+    CollectionEvidence,
+    DEFAULT_ENTROPY_THRESHOLD,
+    Designation,
+    decide_designation,
+    is_collection_arrays,
+    is_collection_objects,
+    key_space_entropy,
+    length_entropy,
+    shannon_entropy,
+)
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.types import type_of
+
+
+def object_types(values):
+    return [type_of(value) for value in values]
+
+
+class TestEntropyMath:
+    def test_example7_key_space_entropy(self):
+        """Example 7 of the paper: Figure 1's two records score 0.70."""
+        counts = {"ts": 2, "event": 2, "user": 1, "files": 1}
+        entropy = key_space_entropy(counts, record_count=2)
+        # -2 * 0.5 ln 0.5 = ln 2 ≈ 0.693, which the paper rounds to 0.70.
+        assert entropy == pytest.approx(2 * 0.5 * math.log(2), abs=1e-9)
+        assert round(entropy, 1) == 0.7
+
+    def test_universal_keys_have_zero_entropy(self):
+        assert key_space_entropy({"a": 5, "b": 5}, 5) == 0.0
+
+    def test_empty_input(self):
+        assert key_space_entropy({}, 0) == 0.0
+        assert shannon_entropy([], 10) == 0.0
+
+    def test_length_entropy_uniform(self):
+        # 4 lengths, equally likely: ln 4.
+        counts = {1: 5, 2: 5, 3: 5, 4: 5}
+        assert length_entropy(counts, 20) == pytest.approx(math.log(4))
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=3), st.integers(1, 50), min_size=1, max_size=10))
+    def test_entropy_nonnegative(self, counts):
+        total = max(counts.values())
+        assert key_space_entropy(counts, total) >= 0.0
+
+
+class TestObjectDetection:
+    def test_stable_keys_are_tuple(self):
+        values = [{"a": i, "b": str(i)} for i in range(50)]
+        assert not is_collection_objects(object_types(values))
+
+    def test_varying_keys_same_type_are_collection(self):
+        values = [
+            {f"key{i}": 1.0, f"key{i+1}": 2.0, f"key{i+2}": 3.0}
+            for i in range(0, 150, 3)
+        ]
+        assert is_collection_objects(object_types(values))
+
+    def test_varying_keys_mixed_kinds_are_tuple(self):
+        # High key variation but values mix kinds per record: Algorithm
+        # 5 short-circuits to Tuple on its E_T check.
+        values = [
+            {f"key{i}": 1.0, f"other{i}": "text"} for i in range(100)
+        ]
+        assert not is_collection_objects(object_types(values))
+
+    def test_dissimilar_nested_types_are_tuple(self):
+        # Keys vary but two nested values have dissimilar object types.
+        values = []
+        for i in range(60):
+            if i % 2 == 0:
+                values.append({f"key{i}": {"x": 1.0}})
+            else:
+                values.append({f"key{i}": {"x": "s"}})
+        assert not is_collection_objects(object_types(values))
+
+    def test_nulls_do_not_break_similarity(self):
+        values = [{f"key{i}": None if i % 3 == 0 else 1.0} for i in range(90)]
+        assert is_collection_objects(object_types(values))
+
+    def test_evidence_out_parameter(self):
+        sink = []
+        is_collection_objects(object_types([{"a": 1}]), evidence_out=sink)
+        assert len(sink) == 1
+        assert sink[0].record_count == 1
+
+
+class TestArrayDetection:
+    def test_fixed_length_pairs_are_tuple(self):
+        """Geo coordinates: always 2 numbers (§3.1)."""
+        values = [[1.0 * i, -2.0 * i] for i in range(50)]
+        assert not is_collection_arrays(object_types(values))
+
+    def test_varying_lengths_are_collection(self):
+        values = [["x"] * (i % 12) for i in range(120)]
+        assert is_collection_arrays(object_types(values))
+
+    def test_varying_lengths_mixed_kinds_are_tuple(self):
+        values = [[1.0, "a", True][: (i % 3) + 1] for i in range(60)]
+        assert not is_collection_arrays(object_types(values))
+
+
+class TestEvidence:
+    def test_add_rejects_wrong_kind(self):
+        evidence = CollectionEvidence(Kind.OBJECT)
+        with pytest.raises(ValueError):
+            evidence.add(type_of([1]))
+
+    def test_merge_rejects_mismatched_kinds(self):
+        with pytest.raises(ValueError):
+            CollectionEvidence(Kind.OBJECT).merge(
+                CollectionEvidence(Kind.ARRAY)
+            )
+
+    def test_merge_equals_sequential(self):
+        values = [{"a": 1}, {"b": 2.0}, {"a": 3, "c": 4}]
+        types = object_types(values)
+        sequential = CollectionEvidence(Kind.OBJECT)
+        for tau in types:
+            sequential.add(tau)
+        left = CollectionEvidence(Kind.OBJECT)
+        left.add(types[0])
+        right = CollectionEvidence(Kind.OBJECT)
+        right.add(types[1])
+        right.add(types[2])
+        merged = left.merge(right)
+        assert merged.record_count == sequential.record_count
+        assert merged.key_counts == sequential.key_counts
+        assert merged.entropy == pytest.approx(sequential.entropy)
+        assert merged.elements_similar == sequential.elements_similar
+
+    def test_max_length_and_distinct_keys(self):
+        evidence = CollectionEvidence(Kind.ARRAY)
+        evidence.add(type_of([1, 2, 3]))
+        evidence.add(type_of([1]))
+        assert evidence.max_length == 3
+        evidence = CollectionEvidence(Kind.OBJECT)
+        evidence.add(type_of({"a": 1, "b": 2}))
+        assert evidence.distinct_keys == 2
+
+
+class TestThreshold:
+    def test_threshold_boundary(self):
+        """Entropy exactly at the threshold stays Tuple (Algorithm 5
+        line 11 uses <=)."""
+        evidence = CollectionEvidence(Kind.OBJECT)
+        # Build evidence with entropy just below / above 1.0.
+        for i in range(100):
+            evidence.add(type_of({f"k{i % 4}": 1.0}))
+        # Four keys at P=0.25: entropy = ln 4 ≈ 1.386 > 1 → collection.
+        assert evidence.entropy == pytest.approx(math.log(4))
+        assert (
+            decide_designation(evidence, DEFAULT_ENTROPY_THRESHOLD)
+            is Designation.COLLECTION
+        )
+        # With a higher threshold the same evidence is a tuple.
+        assert (
+            decide_designation(evidence, 2.0) is Designation.TUPLE
+        )
+
+    def test_default_threshold_is_one(self):
+        assert DEFAULT_ENTROPY_THRESHOLD == 1.0

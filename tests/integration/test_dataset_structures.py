@@ -1,0 +1,173 @@
+"""Per-dataset structural assertions on the discovered schemas.
+
+For each corpus analogue, assert that JXPLAIN finds exactly the
+structures the paper highlights: which paths become collections, which
+stay tuples, and which entities emerge.
+"""
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.discovery import (
+    Jxplain,
+    JxplainConfig,
+    StatTree,
+    decide_collections,
+)
+from repro.heuristics import Designation
+from repro.jsontypes import STAR, type_of
+from repro.jsontypes.kinds import Kind
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    ObjectCollection,
+    ObjectTuple,
+    iter_branches,
+)
+
+
+def decisions_for(name, n=400, seed=7, config=None):
+    records = make_dataset(name).generate(n, seed=seed)
+    tree = StatTree.from_types(
+        [type_of(r) for r in records],
+        similarity_depth=(config.similarity_depth if config else None),
+    )
+    return decide_collections(tree, config or JxplainConfig()), records
+
+
+class TestPharma:
+    def test_drug_map_is_the_only_object_collection(self):
+        decisions, _ = decisions_for("pharma")
+        collections = [
+            path
+            for (path, kind), d in decisions.items()
+            if d is Designation.COLLECTION and kind == Kind.OBJECT
+        ]
+        assert collections == [("cms_prescription_counts",)]
+
+    def test_provider_variables_stay_a_tuple(self):
+        decisions, _ = decisions_for("pharma")
+        assert (
+            decisions[(("provider_variables",), Kind.OBJECT)]
+            is Designation.TUPLE
+        )
+
+
+class TestSynapse:
+    def test_two_level_signature_collection(self):
+        decisions, _ = decisions_for("synapse", n=800)
+        assert (
+            decisions[(("signatures",), Kind.OBJECT)]
+            is Designation.COLLECTION
+        )
+        assert (
+            decisions[(("signatures", STAR), Kind.OBJECT)]
+            is Designation.COLLECTION
+        )
+
+    def test_hashes_stay_tuples(self):
+        decisions, _ = decisions_for("synapse", n=800)
+        assert decisions[(("hashes",), Kind.OBJECT)] is Designation.TUPLE
+
+
+class TestYelpCheckin:
+    def test_two_level_pivot_collection(self):
+        decisions, _ = decisions_for("yelp-checkin")
+        assert decisions[(("time",), Kind.OBJECT)] is Designation.COLLECTION
+        assert (
+            decisions[(("time", STAR), Kind.OBJECT)]
+            is Designation.COLLECTION
+        )
+
+
+class TestTwitter:
+    def test_geo_pair_is_a_tuple(self):
+        records = make_dataset("twitter").generate(500, seed=7)
+        schema = Jxplain().discover(records)
+        geo_objects = []
+        for entity in iter_branches(schema):
+            if (
+                not isinstance(entity, ObjectTuple)
+                or "coordinates" not in entity.all_keys
+            ):
+                continue
+            coordinates = entity.field_schema("coordinates")
+            geo_objects.extend(
+                branch
+                for branch in iter_branches(coordinates)
+                if isinstance(branch, ObjectTuple)
+                and "coordinates" in branch.all_keys
+            )
+        assert geo_objects
+        pair = geo_objects[0].field_schema("coordinates")
+        assert isinstance(pair, ArrayTuple)
+        assert len(pair.elements) == 2
+
+    def test_hashtag_arrays_are_collections(self):
+        decisions, _ = decisions_for("twitter", n=500)
+        assert (
+            decisions[(("entities", "hashtags"), Kind.ARRAY)]
+            is Designation.COLLECTION
+        )
+
+    def test_delete_notice_is_its_own_entity(self):
+        records = make_dataset("twitter").generate(500, seed=7)
+        schema = Jxplain().discover(records)
+        deletes = [
+            branch
+            for branch in iter_branches(schema)
+            if isinstance(branch, ObjectTuple)
+            and branch.all_keys == frozenset({"delete"})
+        ]
+        assert len(deletes) == 1
+
+
+class TestWikidata:
+    def test_bounded_similarity_unlocks_linked_data_collections(self):
+        config = JxplainConfig(similarity_depth=3)
+        decisions, _ = decisions_for(
+            "wikidata", n=150, config=config
+        )
+        for path in (("labels",), ("claims",), ("sitelinks",)):
+            assert (
+                decisions[(path, Kind.OBJECT)] is Designation.COLLECTION
+            ), path
+
+    def test_literal_similarity_blocks_claims(self):
+        decisions, _ = decisions_for("wikidata", n=150)
+        assert decisions[(("claims",), Kind.OBJECT)] is Designation.TUPLE
+
+
+class TestGithub:
+    def test_payload_entities_match_event_types(self):
+        records = make_dataset("github").generate(1500, seed=7)
+        schema = Jxplain().discover(records)
+        entities = [
+            branch
+            for branch in iter_branches(schema)
+            if isinstance(branch, ObjectTuple)
+        ]
+        # Every discovered entity carries the shared envelope.
+        for entity in entities:
+            assert {"id", "type", "actor", "repo", "payload"} <= (
+                entity.all_keys
+            )
+        # And the count is near the number of generated event types
+        # (subset-payload events may fold together).
+        assert 6 <= len(entities) <= 11
+
+
+class TestNyt:
+    def test_multimedia_collection_with_entity_union(self):
+        records = make_dataset("nyt").generate(500, seed=7)
+        schema = Jxplain().discover(records)
+        article = next(iter_branches(schema))
+        multimedia = article.field_schema("multimedia")
+        assert isinstance(multimedia, ArrayCollection)
+        element_entities = [
+            branch
+            for branch in iter_branches(multimedia.element)
+            if isinstance(branch, ObjectTuple)
+        ]
+        # The three media entities survive inside the collection.
+        assert len(element_entities) == 3

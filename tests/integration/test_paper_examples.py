@@ -1,0 +1,139 @@
+"""Integration tests that replay the paper's worked examples."""
+
+import math
+
+import pytest
+
+from repro.datasets import FIGURE1_RECORDS
+from repro.discovery import Jxplain, JxplainPipeline, KReduce, LReduce
+from repro.heuristics.collection import key_space_entropy
+from repro.jsontypes.types import type_of
+from repro.schema.entropy import schema_entropy
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    ObjectCollection,
+    ObjectTuple,
+    iter_branches,
+)
+
+
+class TestExample1:
+    """Existing discovery admits invalid mixtures of Figure 1's events."""
+
+    def test_kreduce_admits_the_papers_false_positives(self):
+        schema = KReduce().discover(FIGURE1_RECORDS)
+        false_positive_both = {
+            "ts": 9,
+            "event": "huh",
+            "user": {"name": "u", "geo": [0.0, 0.0]},
+            "files": ["x"],
+        }
+        false_positive_neither = {"ts": 10, "event": "wat"}
+        assert schema.admits_value(false_positive_both)
+        assert schema.admits_value(false_positive_neither)
+
+    def test_jxplain_rejects_them(self):
+        schema = Jxplain().discover(FIGURE1_RECORDS * 5)
+        assert not schema.admits_value({"ts": 10, "event": "wat"})
+
+
+class TestExample3:
+    """Naive discovery returns the set of the two distinct schemas."""
+
+    def test_lreduce_two_branches(self):
+        schema = LReduce().discover(FIGURE1_RECORDS)
+        branches = list(iter_branches(schema))
+        assert len(branches) == 2
+        assert all(isinstance(b, ObjectTuple) for b in branches)
+        assert all(not b.optional_keys for b in branches)
+
+
+class TestExamples4and5:
+    """Arrays: files merges to [string]*; geo should stay [ℝ, ℝ]."""
+
+    def test_kreduce_files_collection(self):
+        schema = KReduce().discover(FIGURE1_RECORDS)
+        files = schema.field_schema("files")
+        assert isinstance(files, ArrayCollection)
+
+    def test_kreduce_overgeneralizes_geo(self):
+        schema = KReduce().discover(FIGURE1_RECORDS)
+        geo = schema.field_schema("user").field_schema("geo")
+        assert isinstance(geo, ArrayCollection)  # the §3.1 complaint
+
+    def test_jxplain_keeps_geo_a_tuple(self):
+        schema = Jxplain().discover(FIGURE1_RECORDS * 5)
+        login = next(
+            branch
+            for branch in iter_branches(schema)
+            if isinstance(branch, ObjectTuple)
+            and "user" in branch.all_keys
+        )
+        geo = login.field_schema("user").field_schema("geo")
+        assert isinstance(geo, ArrayTuple)
+
+
+class TestExample6:
+    """Collection-like objects: prescription counts."""
+
+    def test_pharma_style_collection(self):
+        records = [
+            {
+                "cms_prescription_counts": {
+                    f"DRUG {i}": i + 11,
+                    f"DRUG {i + 1}": i + 12,
+                    f"DRUG {i + 2}": i + 13,
+                }
+            }
+            for i in range(0, 120, 3)
+        ]
+        schema = Jxplain().discover(records)
+        counts = schema.field_schema("cms_prescription_counts")
+        assert isinstance(counts, ObjectCollection)
+        # Generalizes to new medications, which K-reduce cannot.
+        new_drug = {"cms_prescription_counts": {"BRAND NEW": 26}}
+        assert schema.admits_value(new_drug)
+        assert not KReduce().discover(records).admits_value(new_drug)
+
+
+class TestExample7:
+    """The worked key-space entropy number: E_K = 0.70."""
+
+    def test_figure1_entropy(self):
+        types = [type_of(r) for r in FIGURE1_RECORDS]
+        counts = {}
+        for tau in types:
+            for key in tau.keys():
+                counts[key] = counts.get(key, 0) + 1
+        entropy = key_space_entropy(counts, len(types))
+        assert entropy == pytest.approx(math.log(2), abs=1e-12)
+        assert f"{entropy:.2f}" == "0.69"  # the paper rounds to 0.70
+
+
+class TestExample8:
+    """S1 (two entities) is preferred over S2 (optional fields)."""
+
+    def test_schema_matches_s1(self, login_serve_stream):
+        schema = Jxplain().discover(login_serve_stream)
+        entities = [
+            branch
+            for branch in iter_branches(schema)
+            if isinstance(branch, ObjectTuple)
+        ]
+        assert len(entities) == 2
+        for entity in entities:
+            # S1 has no optional fields at the root.
+            assert not entity.optional_keys
+
+    def test_s1_has_lower_entropy_than_s2(self, login_serve_stream):
+        s1 = Jxplain().discover(login_serve_stream)
+        s2 = KReduce().discover(login_serve_stream)
+        assert schema_entropy(s1) < schema_entropy(s2)
+
+
+class TestPipelineAgreesOnExamples:
+    def test_pipeline_matches_reference(self, login_serve_stream):
+        assert JxplainPipeline().discover(
+            login_serve_stream
+        ) == Jxplain().discover(login_serve_stream)

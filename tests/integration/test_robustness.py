@@ -1,0 +1,172 @@
+"""Failure injection and adversarial-input robustness.
+
+Discovery must behave sensibly on inputs real feeds actually contain:
+unicode and hostile key names, enormous numbers, deep nesting, mixed
+root kinds, empty containers everywhere, and keys that collide with
+the path-rendering syntax.
+"""
+
+import math
+
+import pytest
+
+from repro.discovery import (
+    Jxplain,
+    JxplainPipeline,
+    KReduce,
+    LReduce,
+)
+from repro.errors import RecursionDepthError
+from repro.jsontypes.paths import render_path
+from repro.jsontypes.types import type_of
+from repro.schema.entropy import schema_entropy
+from repro.schema.jsonschema import from_json_schema, to_json_schema
+from repro.schema.render import render
+
+ALL_DISCOVERERS = (LReduce(), KReduce(), Jxplain(), JxplainPipeline())
+
+
+def roundtrip_all(records):
+    """Discover with every algorithm; each must admit its training."""
+    for discoverer in ALL_DISCOVERERS:
+        schema = discoverer.discover(records)
+        for record in records:
+            assert schema.admits_value(record), discoverer.name
+        # The schema must survive export/import and keep its entropy.
+        restored = from_json_schema(to_json_schema(schema))
+        assert restored == schema
+        assert schema_entropy(restored) == schema_entropy(schema)
+        # And render without crashing.
+        render(schema, compact=True)
+
+
+class TestHostileKeys:
+    def test_unicode_keys(self):
+        records = [
+            {"日本語": 1, "naïve": "x", "🎉emoji": [True]},
+            {"日本語": 2, "ключ": None},
+        ]
+        roundtrip_all(records)
+
+    def test_keys_with_path_syntax(self):
+        records = [
+            {"a.b": 1, "c[0]": "x", "$": True, "*": None, "": 0},
+            {"a.b": 2, "": 1},
+        ]
+        roundtrip_all(records)
+        # Rendering a path containing such keys must not crash (the
+        # dotted notation is display-only and may be ambiguous).
+        schema = Jxplain().discover(records)
+        render_path(("a.b", "c[0]", ""))
+
+    def test_very_long_keys(self):
+        key = "k" * 10_000
+        roundtrip_all([{key: 1}, {key: 2}])
+
+    def test_whitespace_and_control_keys(self):
+        records = [{" ": 1, "\t": "x", "\n": True}]
+        roundtrip_all(records)
+
+
+class TestExtremeValues:
+    def test_huge_and_tiny_numbers(self):
+        records = [
+            {"n": 10**300, "m": -(10**300), "f": 1e-308},
+            {"n": 0, "m": 0.5, "f": float(10**18)},
+        ]
+        roundtrip_all(records)
+
+    def test_non_finite_floats(self):
+        # json.loads never produces these, but defensive callers might.
+        records = [{"x": math.inf}, {"x": -math.inf}, {"x": math.nan}]
+        schema = Jxplain().discover(records)
+        assert schema.admits_value({"x": 1.0})
+
+    def test_huge_strings(self):
+        records = [{"s": "x" * 100_000}, {"s": ""}]
+        roundtrip_all(records)
+
+
+class TestShapesAtTheEdges:
+    def test_mixed_root_kinds(self):
+        records = [1, "two", None, True, [1, 2], {"a": 1}, []]
+        roundtrip_all(records)
+
+    def test_all_empty_containers(self):
+        roundtrip_all([{}, {}, {}])
+        roundtrip_all([[], [], []])
+
+    def test_single_record(self):
+        roundtrip_all([{"only": {"one": [1, "x", None]}}])
+
+    def test_null_everywhere(self):
+        records = [
+            {"a": None, "b": [None, None], "c": {"d": None}},
+            {"a": 1, "b": [None], "c": {"d": "x"}},
+        ]
+        roundtrip_all(records)
+
+    def test_many_identical_records(self):
+        roundtrip_all([{"a": 1, "b": [True]}] * 500)
+
+    def test_wide_object(self):
+        record = {f"field_{i}": i for i in range(2_000)}
+        roundtrip_all([record])
+
+    def test_wide_array(self):
+        roundtrip_all([[float(i) for i in range(2_000)]])
+
+
+class TestDepthLimits:
+    def _nested(self, depth):
+        value = 1
+        for _ in range(depth):
+            value = {"nest": value}
+        return value
+
+    def test_moderately_deep_ok(self):
+        roundtrip_all([self._nested(40)])
+
+    def test_configured_depth_guard_fires(self):
+        from repro.discovery import JxplainConfig, jxplain_merge
+
+        deep = type_of(self._nested(30))
+        with pytest.raises(RecursionDepthError):
+            jxplain_merge([deep], JxplainConfig(max_depth=10))
+
+    def test_type_extraction_guard(self):
+        from repro.errors import RecursionDepthError as TypeGuard
+
+        with pytest.raises(TypeGuard):
+            type_of(self._nested(50), max_depth=20)
+
+
+class TestHeterogeneousStress:
+    def test_every_field_changes_kind(self):
+        """A pathological stream where each field's kind alternates."""
+        records = []
+        for index in range(40):
+            records.append(
+                {
+                    "x": index if index % 2 else str(index),
+                    "y": [index] if index % 3 else {"v": index},
+                    "z": None if index % 5 else True,
+                }
+            )
+        roundtrip_all(records)
+
+    def test_entity_explosion_bounded(self):
+        """1 000 records with random field subsets must not produce a
+        schema anywhere near 1 000 entities after GreedyMerge."""
+        import random
+
+        rng = random.Random(0)
+        fields = [f"f{i}" for i in range(12)]
+        records = []
+        for _ in range(1_000):
+            chosen = rng.sample(fields, rng.randint(3, 9))
+            records.append({name: 1 for name in chosen})
+        schema = Jxplain().discover(records)
+        from repro.schema.nodes import top_level_entity_count
+
+        assert top_level_entity_count(schema) <= 20

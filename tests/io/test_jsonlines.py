@@ -1,0 +1,44 @@
+"""Tests for JSON-lines IO."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.io.jsonlines import load_jsonlines, read_jsonlines, write_jsonlines
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        records = [{"a": 1}, {"b": [True, None]}, "bare string", 42]
+        path = tmp_path / "data.jsonl"
+        count = write_jsonlines(path, records)
+        assert count == 4
+        assert load_jsonlines(path) == records
+
+    def test_gzip_round_trip(self, tmp_path):
+        records = [{"a": i} for i in range(50)]
+        path = tmp_path / "data.jsonl.gz"
+        write_jsonlines(path, records)
+        assert load_jsonlines(path) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\n\n   \n{"a": 2}\n')
+        assert load_jsonlines(path) == [{"a": 1}, {"a": 2}]
+
+    def test_streaming_is_lazy(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonlines(path, [{"a": i} for i in range(10)])
+        iterator = read_jsonlines(path)
+        assert next(iterator) == {"a": 0}
+
+    def test_parse_error_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(DatasetError, match=":2:"):
+            load_jsonlines(path)
+
+    def test_unicode_preserved(self, tmp_path):
+        records = [{"naïve": "日本語", "emoji": "🎉"}]
+        path = tmp_path / "unicode.jsonl"
+        write_jsonlines(path, records)
+        assert load_jsonlines(path) == records

@@ -1,0 +1,93 @@
+"""Tests for sampling and the paper's experimental protocol."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.sampling import (
+    PAPER_TEST_FRACTION,
+    PAPER_TRAINING_FRACTIONS,
+    PAPER_TRIALS,
+    paper_protocol,
+    train_test_split,
+    trial_samples,
+    uniform_sample,
+)
+
+
+class TestUniformSample:
+    def test_size(self):
+        records = list(range(1000))
+        assert len(uniform_sample(records, 0.1, seed=1)) == 100
+
+    def test_minimum_one_record(self):
+        assert len(uniform_sample([1, 2, 3], 0.01)) == 1
+
+    def test_zero_fraction_empty(self):
+        assert uniform_sample([1, 2, 3], 0.0) == []
+        assert uniform_sample([], 0.5) == []
+
+    def test_order_preserved(self):
+        records = list(range(100))
+        sample = uniform_sample(records, 0.3, seed=5)
+        assert sample == sorted(sample)
+
+    def test_deterministic(self):
+        records = list(range(100))
+        assert uniform_sample(records, 0.5, seed=7) == uniform_sample(
+            records, 0.5, seed=7
+        )
+        assert uniform_sample(records, 0.5, seed=7) != uniform_sample(
+            records, 0.5, seed=8
+        )
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_sample([1], 1.5)
+        with pytest.raises(ValueError):
+            uniform_sample([1], -0.1)
+
+    @given(st.lists(st.integers(), max_size=50), st.floats(0, 1))
+    def test_sample_is_subsequence(self, records, fraction):
+        sample = uniform_sample(records, fraction, seed=0)
+        iterator = iter(records)
+        for item in sample:
+            assert item in iterator  # consumes: enforces order + membership
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        records = list(range(100))
+        split = train_test_split(records, 0.1, seed=0)
+        assert split.train_size == 90
+        assert split.test_size == 10
+        assert sorted(split.train + split.test) == records
+
+    def test_no_overlap(self):
+        records = list(range(200))
+        split = train_test_split(records, 0.25, seed=3)
+        assert not set(split.train) & set(split.test)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            train_test_split([1], 1.0)
+
+
+class TestProtocol:
+    def test_constants_match_paper(self):
+        assert PAPER_TRAINING_FRACTIONS == (0.01, 0.10, 0.50, 0.90)
+        assert PAPER_TEST_FRACTION == 0.10
+        assert PAPER_TRIALS == 5
+
+    def test_trial_samples_independent(self):
+        records = list(range(500))
+        samples = trial_samples(records, 0.1, trials=3, base_seed=1)
+        assert len(samples) == 3
+        assert len({tuple(s) for s in samples}) == 3
+
+    def test_paper_protocol_shapes(self):
+        records = list(range(1000))
+        sample, test = paper_protocol(records, fraction=0.1, trial=0, seed=2)
+        assert len(test) == 100
+        assert len(sample) == 90  # 10% of the 900-record training pool
+        assert not set(sample) & set(test)

@@ -1,0 +1,29 @@
+"""Tests for repro.jsontypes.kinds."""
+
+from repro.jsontypes.kinds import COMPLEX_KINDS, Kind, PRIMITIVE_KINDS
+
+
+class TestKind:
+    def test_primitive_kinds_are_primitive(self):
+        for kind in PRIMITIVE_KINDS:
+            assert kind.is_primitive
+            assert not kind.is_complex
+
+    def test_complex_kinds_are_complex(self):
+        for kind in COMPLEX_KINDS:
+            assert kind.is_complex
+            assert not kind.is_primitive
+
+    def test_partition_is_complete(self):
+        assert set(PRIMITIVE_KINDS) | set(COMPLEX_KINDS) == set(Kind)
+        assert not set(PRIMITIVE_KINDS) & set(COMPLEX_KINDS)
+
+    def test_values_are_stable(self):
+        # Kind values appear in exported JSON Schema documents, so they
+        # are part of the wire format and must not drift.
+        assert Kind.BOOLEAN.value == "boolean"
+        assert Kind.NUMBER.value == "number"
+        assert Kind.STRING.value == "string"
+        assert Kind.NULL.value == "null"
+        assert Kind.OBJECT.value == "object"
+        assert Kind.ARRAY.value == "array"

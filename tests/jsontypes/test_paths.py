@@ -1,0 +1,97 @@
+"""Tests for repro.jsontypes.paths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.jsontypes.paths import (
+    ROOT,
+    STAR,
+    generalize,
+    iter_type_paths,
+    iter_value_paths,
+    parse_path,
+    render_path,
+    value_at,
+)
+from repro.jsontypes.types import type_of
+
+
+path_steps = st.one_of(
+    st.text(alphabet="abcz_", min_size=1, max_size=5),
+    st.integers(min_value=0, max_value=99),
+    st.just(STAR),
+)
+paths = st.lists(path_steps, max_size=6).map(tuple)
+
+
+class TestRendering:
+    def test_root(self):
+        assert render_path(ROOT) == "$"
+
+    def test_mixed_path(self):
+        assert render_path(("a", 0, STAR, "b")) == "$.a[0][*].b"
+
+    @given(paths)
+    def test_parse_inverts_render(self, path):
+        assert parse_path(render_path(path)) == path
+
+    def test_parse_rejects_bad_prefix(self):
+        with pytest.raises(ValueError):
+            parse_path("a.b")
+
+    def test_parse_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            parse_path("$..a")
+
+
+class TestIteration:
+    def test_value_paths(self):
+        value = {"a": [1, {"b": True}]}
+        found = dict(iter_value_paths(value))
+        assert found[()] == value
+        assert found[("a",)] == [1, {"b": True}]
+        assert found[("a", 0)] == 1
+        assert found[("a", 1, "b")] is True
+
+    def test_type_paths_match_value_paths(self):
+        value = {"a": [1, "x"], "b": {"c": None}}
+        tau = type_of(value)
+        type_keys = {path for path, _ in iter_type_paths(tau)}
+        value_keys = {path for path, _ in iter_value_paths(value)}
+        assert type_keys == value_keys
+
+
+class TestValueAt:
+    def test_follows_objects_and_arrays(self):
+        value = {"a": [10, {"b": "hit"}]}
+        assert value_at(value, ("a", 1, "b")) == "hit"
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            value_at({"a": 1}, ("z",))
+
+    def test_index_out_of_range(self):
+        with pytest.raises(KeyError):
+            value_at({"a": [1]}, ("a", 5))
+
+    def test_star_rejected(self):
+        with pytest.raises(KeyError):
+            value_at({"a": 1}, (STAR,))
+
+    def test_descend_into_primitive(self):
+        with pytest.raises(KeyError):
+            value_at({"a": 1}, ("a", "b"))
+
+
+class TestGeneralize:
+    def test_no_collections(self):
+        assert generalize(("a", "b"), frozenset()) == ("a", "b")
+
+    def test_steps_under_collection_become_star(self):
+        collections = frozenset({("a",)})
+        assert generalize(("a", "k1", "x"), collections) == ("a", STAR, "x")
+
+    def test_nested_collections(self):
+        collections = frozenset({("a",), ("a", STAR)})
+        assert generalize(("a", "k", "j"), collections) == ("a", STAR, STAR)

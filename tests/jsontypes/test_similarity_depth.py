@@ -1,0 +1,124 @@
+"""Tests for the depth-bounded similarity variant."""
+
+from hypothesis import given
+
+from repro.discovery import Jxplain, JxplainConfig
+from repro.jsontypes.similarity import (
+    SimilarityAccumulator,
+    similar,
+    union_types,
+)
+from repro.jsontypes.types import type_of
+from tests.conftest import json_values
+
+
+def deep_mixed(kind_value):
+    """claims-shaped: {P: [{mainsnak: {datavalue: {value: X}}}]}."""
+    return {"P1": [{"mainsnak": {"datavalue": {"value": kind_value}}}]}
+
+
+class TestBoundedSimilar:
+    def test_unbounded_detects_deep_mismatch(self):
+        first = type_of(deep_mixed("a string"))
+        second = type_of(deep_mixed({"numeric-id": 3}))
+        assert not similar(first, second)
+
+    def test_bounded_tolerates_deep_mismatch(self):
+        first = type_of(deep_mixed("a string"))
+        second = type_of(deep_mixed({"numeric-id": 3}))
+        assert similar(first, second, max_depth=3)
+
+    def test_bound_still_catches_shallow_mismatch(self):
+        first = type_of({"a": 1})
+        second = type_of({"a": "x"})
+        assert not similar(first, second, max_depth=3)
+
+    def test_zero_depth_everything_similar(self):
+        assert similar(type_of(1), type_of("x"), max_depth=0)
+
+    @given(json_values(max_leaves=8), json_values(max_leaves=8))
+    def test_bound_relaxes_monotonically(self, left, right):
+        """If two types are similar unbounded, they are similar under
+        any bound; a smaller bound never rejects more."""
+        first, second = type_of(left), type_of(right)
+        unbounded = similar(first, second)
+        if unbounded:
+            assert similar(first, second, max_depth=5)
+            assert similar(first, second, max_depth=2)
+        if not similar(first, second, max_depth=5):
+            assert not unbounded
+
+
+class TestBoundedUnion:
+    def test_union_keeps_representative_past_bound(self):
+        first = type_of(deep_mixed("a string"))
+        second = type_of(deep_mixed({"numeric-id": 3}))
+        merged = union_types(first, second, max_depth=3)
+        # Within the bound, structure is merged; past it, the first
+        # side's representative survives.
+        assert merged.field("P1") is not None
+
+    def test_accumulator_uses_depth(self):
+        acc = SimilarityAccumulator(max_depth=3)
+        acc.add(type_of(deep_mixed("a string")))
+        acc.add(type_of(deep_mixed({"numeric-id": 3})))
+        assert acc.all_similar
+        strict = SimilarityAccumulator()
+        strict.add(type_of(deep_mixed("a string")))
+        strict.add(type_of(deep_mixed({"numeric-id": 3})))
+        assert not strict.all_similar
+
+    def test_merge_preserves_depth(self):
+        left = SimilarityAccumulator(max_depth=3)
+        right = SimilarityAccumulator(max_depth=3)
+        left.add(type_of(deep_mixed("a string")))
+        right.add(type_of(deep_mixed({"numeric-id": 3})))
+        merged = left.merge(right)
+        assert merged.all_similar
+        assert merged.max_depth == 3
+
+
+class TestConfigIntegration:
+    def test_config_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            JxplainConfig(similarity_depth=0).validate()
+        JxplainConfig(similarity_depth=3).validate()
+
+    def test_wikidata_style_collection_unlocked(self):
+        """The headline effect: claims-like maps become collections
+        only under the bounded rule."""
+        records = [
+            {
+                f"P{i}": [
+                    {
+                        "mainsnak": {
+                            "datavalue": {
+                                "value": "s" if i % 2 else {"id": i}
+                            }
+                        }
+                    }
+                ],
+                f"P{i + 50}": [
+                    {"mainsnak": {"datavalue": {"value": "t"}}}
+                ],
+            }
+            for i in range(40)
+        ]
+        literal = Jxplain().discover(records)
+        bounded = Jxplain(
+            JxplainConfig(similarity_depth=3)
+        ).discover(records)
+        probe = {
+            "P999": [{"mainsnak": {"datavalue": {"value": "new"}}}]
+        }
+        assert not literal.admits_value(probe)
+        assert bounded.admits_value(probe)
+
+    def test_training_recall_preserved_under_bound(self, login_serve_stream):
+        schema = Jxplain(
+            JxplainConfig(similarity_depth=2)
+        ).discover(login_serve_stream)
+        for record in login_serve_stream:
+            assert schema.admits_value(record)

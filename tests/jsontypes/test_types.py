@@ -1,0 +1,158 @@
+"""Tests for repro.jsontypes.types."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidJsonValueError, RecursionDepthError
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.types import (
+    ArrayType,
+    BOOLEAN,
+    EMPTY_ARRAY,
+    EMPTY_OBJECT,
+    NULL,
+    NUMBER,
+    ObjectType,
+    STRING,
+    kind_of,
+    type_of,
+)
+from tests.conftest import json_values
+
+
+class TestPrimitives:
+    def test_interning(self):
+        from repro.jsontypes.types import PrimitiveType
+
+        assert PrimitiveType(Kind.NUMBER) is NUMBER
+        assert PrimitiveType(Kind.STRING) is STRING
+
+    def test_primitive_from_complex_kind_rejected(self):
+        from repro.jsontypes.types import PrimitiveType
+
+        with pytest.raises(InvalidJsonValueError):
+            PrimitiveType(Kind.OBJECT)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            NUMBER.kind = Kind.STRING
+
+    def test_keys_empty(self):
+        assert NUMBER.keys() == ()
+
+    def test_depth_and_node_count(self):
+        assert NUMBER.depth() == 1
+        assert NUMBER.node_count() == 1
+
+
+class TestTypeOf:
+    def test_null(self):
+        assert type_of(None) is NULL
+
+    def test_bool_is_not_number(self):
+        # isinstance(True, int) holds in Python; the extractor must
+        # still classify booleans as boolean.
+        assert type_of(True) is BOOLEAN
+        assert type_of(False) is BOOLEAN
+
+    def test_int_and_float_are_number(self):
+        assert type_of(3) is NUMBER
+        assert type_of(3.25) is NUMBER
+
+    def test_string(self):
+        assert type_of("hi") is STRING
+
+    def test_empty_containers(self):
+        assert type_of([]) == EMPTY_ARRAY
+        assert type_of({}) == EMPTY_OBJECT
+
+    def test_figure1_type(self, figure1_records):
+        # Example 2 of the paper: the record with ts 7.
+        tau = type_of(figure1_records[0])
+        assert tau.kind == Kind.OBJECT
+        assert set(tau.keys()) == {"ts", "event", "user"}
+        user = tau.field("user")
+        assert user.field("geo") == ArrayType((NUMBER, NUMBER))
+
+    def test_rejects_non_json(self):
+        with pytest.raises(InvalidJsonValueError):
+            type_of({1, 2})
+        with pytest.raises(InvalidJsonValueError):
+            type_of(object())
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(InvalidJsonValueError):
+            type_of({1: "x"})
+
+    def test_depth_guard(self):
+        value = []
+        for _ in range(10):
+            value = [value]
+        with pytest.raises(RecursionDepthError):
+            type_of(value, max_depth=5)
+
+    @given(json_values())
+    def test_type_of_total_on_json(self, value):
+        tau = type_of(value)
+        assert tau.kind == kind_of(value)
+
+    @given(json_values())
+    def test_equal_values_equal_types(self, value):
+        import copy
+
+        assert type_of(value) == type_of(copy.deepcopy(value))
+        assert hash(type_of(value)) == hash(type_of(copy.deepcopy(value)))
+
+
+class TestObjectType:
+    def test_field_order_irrelevant(self):
+        first = ObjectType({"a": NUMBER, "b": STRING})
+        second = ObjectType({"b": STRING, "a": NUMBER})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_field_access(self):
+        tau = ObjectType({"a": NUMBER})
+        assert tau.field("a") is NUMBER
+        assert tau.get("missing") is None
+        with pytest.raises(KeyError):
+            tau.field("missing")
+
+    def test_contains_and_len(self):
+        tau = ObjectType({"a": NUMBER, "b": STRING})
+        assert "a" in tau
+        assert "z" not in tau
+        assert len(tau) == 2
+
+    def test_key_set(self):
+        tau = ObjectType({"a": NUMBER, "b": STRING})
+        assert tau.key_set() == frozenset({"a", "b"})
+
+    def test_immutability(self):
+        tau = ObjectType({"a": NUMBER})
+        with pytest.raises(AttributeError):
+            tau.fields = ()
+
+    def test_nested_field_types_validated(self):
+        with pytest.raises(InvalidJsonValueError):
+            ObjectType({"a": "not a type"})
+
+
+class TestArrayType:
+    def test_order_matters(self):
+        assert ArrayType((NUMBER, STRING)) != ArrayType((STRING, NUMBER))
+
+    def test_keys_are_indices(self):
+        tau = ArrayType((NUMBER, STRING))
+        assert tau.keys() == (0, 1)
+        assert tau.field(1) is STRING
+        with pytest.raises(KeyError):
+            tau.field(5)
+
+    def test_node_count(self):
+        tau = ArrayType((NUMBER, ArrayType((STRING,))))
+        assert tau.node_count() == 4
+
+    def test_depth(self):
+        tau = ArrayType((ArrayType((ArrayType(()),)),))
+        assert tau.depth() == 3

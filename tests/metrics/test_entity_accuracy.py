@@ -1,0 +1,78 @@
+"""Tests for the Table 3 entity-accuracy metric."""
+
+from repro.datasets import make_dataset
+from repro.metrics.entity_accuracy import (
+    evaluate_entity_detection,
+    format_entity_table,
+    ground_truth_path_sets,
+    min_symmetric_differences,
+    symmetric_difference,
+)
+
+
+def fs(*keys):
+    return frozenset(keys)
+
+
+class TestSymmetricDifference:
+    def test_basic(self):
+        assert symmetric_difference(fs("a", "b"), fs("b", "c")) == 2
+        assert symmetric_difference(fs("a"), fs("a")) == 0
+
+    def test_min_against_clusters(self):
+        truth = {"e1": fs("a", "b"), "e2": fs("x")}
+        clusters = [fs("a", "b"), fs("x", "y")]
+        result = min_symmetric_differences(clusters, truth)
+        assert result == {"e1": 0, "e2": 1}
+
+    def test_no_clusters(self):
+        truth = {"e1": fs("a", "b")}
+        assert min_symmetric_differences([], truth) == {"e1": 2}
+
+
+class TestGroundTruth:
+    def test_union_per_label(self):
+        features = [fs("a"), fs("a", "b"), fs("x")]
+        labels = ["l1", "l1", "l2"]
+        truth = ground_truth_path_sets(features, labels)
+        assert truth == {"l1": fs("a", "b"), "l2": fs("x")}
+
+
+class TestEvaluateEntityDetection:
+    def test_yelp_merged_shape(self):
+        """Table 3's shape on Yelp-Merged: Bimax-Merge near zero,
+        K-reduce large, for every entity."""
+        labeled = make_dataset("yelp-merged").generate_labeled(800, seed=4)
+        results = {
+            acc.method: acc
+            for acc in evaluate_entity_detection(labeled)
+        }
+        assert set(results) == {"bimax-merge", "k-reduce", "k-means"}
+        bimax = results["bimax-merge"]
+        kreduce = results["k-reduce"]
+        # Bimax-Merge reconstructs each entity essentially exactly.
+        assert bimax.total <= 0.1 * kreduce.total
+        # K-reduce's single fat cluster misses every individual entity.
+        assert all(value > 0 for value in kreduce.per_entity.values())
+
+    def test_kmeans_worse_than_bimax(self):
+        labeled = make_dataset("yelp-merged").generate_labeled(800, seed=4)
+        results = {
+            acc.method: acc
+            for acc in evaluate_entity_detection(labeled)
+        }
+        assert results["bimax-merge"].total <= results["k-means"].total
+
+    def test_single_entity_dataset(self):
+        labeled = make_dataset("yelp-photos").generate_labeled(100, seed=1)
+        results = evaluate_entity_detection(labeled)
+        bimax = next(a for a in results if a.method == "bimax-merge")
+        assert bimax.per_entity == {"photos": 0}
+
+    def test_format_table(self):
+        labeled = make_dataset("yelp-merged").generate_labeled(300, seed=2)
+        results = evaluate_entity_detection(labeled)
+        text = format_entity_table(results, dataset="yelp-merged")
+        assert "bimax-merge" in text
+        assert "k-reduce" in text
+        assert "total" in text

@@ -1,0 +1,115 @@
+"""Tests for the recall/entropy/runtime sweep harness."""
+
+from repro.discovery import Jxplain, KReduce, LReduce
+from repro.metrics.recall import (
+    CellStats,
+    format_sweep_table,
+    measure_recall,
+    run_sweep,
+)
+from repro.schema.nodes import NUMBER_S
+
+
+class TestCellStats:
+    def test_moments(self):
+        stats = CellStats([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.max == 3.0
+        assert stats.min == 1.0
+        assert stats.std > 0
+
+    def test_empty(self):
+        stats = CellStats([])
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+
+    def test_single_value_no_std(self):
+        assert CellStats([5.0]).std == 0.0
+
+
+class TestMeasureRecall:
+    def test_fraction(self):
+        assert measure_recall(NUMBER_S, [1, "x", 2, "y"]) == 0.5
+        assert measure_recall(NUMBER_S, []) == 1.0
+
+
+class TestRunSweep:
+    def _records(self):
+        records = []
+        for index in range(300):
+            record = {"id": index, "kind": "a" if index % 2 else "b"}
+            if index % 7 == 0:
+                record["rare"] = True
+            records.append(record)
+        return records
+
+    def test_sweep_grid_complete(self):
+        sweep = run_sweep(
+            "toy",
+            self._records(),
+            [KReduce(), Jxplain()],
+            fractions=(0.1, 0.5),
+            trials=2,
+        )
+        assert sweep.algorithms() == ["k-reduce", "bimax-merge"]
+        assert sweep.fractions() == [0.1, 0.5]
+        assert len(sweep.trials) == 2 * 2 * 2
+
+    def test_recall_improves_with_sample_size(self):
+        sweep = run_sweep(
+            "toy",
+            self._records(),
+            [LReduce()],
+            fractions=(0.01, 0.9),
+            trials=3,
+        )
+        small = sweep.cell("l-reduce", 0.01, "recall").mean
+        large = sweep.cell("l-reduce", 0.9, "recall").mean
+        assert large >= small
+
+    def test_entropy_and_runtime_recorded(self):
+        sweep = run_sweep(
+            "toy", self._records(), [KReduce()], fractions=(0.5,), trials=1
+        )
+        trial = sweep.trials[0]
+        assert trial.runtime_ms > 0
+        assert trial.entropy >= 0
+
+    def test_schemas_kept_on_request(self):
+        sweep = run_sweep(
+            "toy",
+            self._records(),
+            [KReduce()],
+            fractions=(0.5,),
+            trials=1,
+            keep_schemas=True,
+        )
+        assert sweep.trials[0].schema is not None
+
+    def test_format_table(self):
+        sweep = run_sweep(
+            "toy",
+            self._records(),
+            [KReduce(), Jxplain()],
+            fractions=(0.1,),
+            trials=2,
+        )
+        table = format_sweep_table(sweep, "recall", include_max=True)
+        lines = table.splitlines()
+        assert "k-reduce:mean" in lines[0]
+        assert "bimax-merge:max" in lines[0]
+        assert len(lines) == 2  # header + one fraction row
+        assert "10%" in lines[1]
+
+    def test_deterministic_under_seed(self):
+        first = run_sweep(
+            "toy", self._records(), [KReduce()], fractions=(0.1,),
+            trials=2, seed=5,
+        )
+        second = run_sweep(
+            "toy", self._records(), [KReduce()], fractions=(0.1,),
+            trials=2, seed=5,
+        )
+        assert [t.recall for t in first.trials] == [
+            t.recall for t in second.trials
+        ]

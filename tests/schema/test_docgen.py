@@ -1,0 +1,82 @@
+"""Tests for Markdown documentation generation."""
+
+from repro.datasets import make_dataset
+from repro.discovery import Jxplain
+from repro.schema.docgen import schema_to_markdown
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+    union,
+)
+
+
+class TestSchemaToMarkdown:
+    def test_title_and_description(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        text = schema_to_markdown(
+            schema, title="My API", description="What the feed looks like."
+        )
+        assert text.startswith("# My API")
+        assert "What the feed looks like." in text
+
+    def test_field_table(self):
+        schema = ObjectTuple({"id": NUMBER_S}, {"note": STRING_S})
+        text = schema_to_markdown(schema)
+        assert "| `id` | yes | `number` |" in text
+        assert "| `note` | no | `string` |" in text
+
+    def test_entities_get_sections(self):
+        schema = union(
+            ObjectTuple({"ts": NUMBER_S, "user": STRING_S}),
+            ObjectTuple({"ts": NUMBER_S, "files": STRING_S}),
+        )
+        text = schema_to_markdown(schema)
+        assert "2 top-level alternative(s)" in text
+        assert text.count("## Entity") == 2
+
+    def test_collections_described(self):
+        schema = ObjectTuple(
+            {
+                "counts": ObjectCollection(
+                    NUMBER_S, domain=("DRUG A", "DRUG B")
+                ),
+                "tags": ArrayCollection(STRING_S, 4),
+            }
+        )
+        text = schema_to_markdown(schema)
+        assert "2 distinct keys observed" in text
+        assert "any key is accepted" in text
+        assert "`DRUG A`" in text
+        assert "up to 4 elements observed" in text
+
+    def test_tuple_arrays_inline(self):
+        schema = ObjectTuple({"geo": ArrayTuple((NUMBER_S, NUMBER_S))})
+        text = schema_to_markdown(schema)
+        assert "tuple [`number`, `number`]" in text
+
+    def test_nested_objects_get_subsections(self):
+        schema = ObjectTuple(
+            {"user": ObjectTuple({"name": STRING_S, "age": NUMBER_S})}
+        )
+        text = schema_to_markdown(schema)
+        assert "### `user`" in text
+        assert "| `name` | yes | `string` |" in text
+
+    def test_raw_schema_appendix(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        text = schema_to_markdown(schema)
+        assert "Raw schema:" in text
+        assert "```" in text
+
+    def test_end_to_end_on_github(self):
+        """The §6 motivation: regenerate the event documentation page."""
+        records = make_dataset("github").generate(600, seed=2)
+        schema = Jxplain().discover(records)
+        text = schema_to_markdown(schema, title="GitHub events")
+        assert text.count("## Entity") >= 5
+        assert "`payload`" in text
+        assert "| `actor` |" in text

@@ -1,0 +1,177 @@
+"""Tests for schema entropy (§7.2)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schema.entropy import (
+    LOG2_ZERO,
+    log2_add,
+    log2_geometric_sum,
+    log2_one_plus,
+    log2_sum,
+    log2_type_count,
+    schema_entropy,
+)
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+    union,
+)
+
+finite_logs = st.floats(min_value=-100.0, max_value=100.0)
+
+
+class TestLogHelpers:
+    @given(finite_logs, finite_logs)
+    def test_log2_add_commutative(self, a, b):
+        assert log2_add(a, b) == pytest.approx(log2_add(b, a))
+
+    @given(finite_logs, finite_logs)
+    def test_log2_add_correct(self, a, b):
+        expected = math.log2(2.0**a + 2.0**b)
+        assert log2_add(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_log2_add_zero_identity(self):
+        assert log2_add(LOG2_ZERO, 5.0) == 5.0
+        assert log2_add(5.0, LOG2_ZERO) == 5.0
+
+    def test_log2_sum(self):
+        # 2 + 2 + 4 = 8
+        assert log2_sum([1.0, 1.0, 2.0]) == pytest.approx(3.0)
+
+    def test_log2_one_plus(self):
+        assert log2_one_plus(0.0) == pytest.approx(1.0)  # 1 + 1 = 2
+        assert log2_one_plus(LOG2_ZERO) == pytest.approx(0.0)  # 1 + 0 = 1
+
+    def test_geometric_sum_small(self):
+        # c = 2, L = 3: 1 + 2 + 4 + 8 = 15.
+        assert log2_geometric_sum(1.0, 3) == pytest.approx(math.log2(15))
+
+    def test_geometric_sum_c_equals_one(self):
+        assert log2_geometric_sum(0.0, 9) == pytest.approx(math.log2(10))
+
+    def test_geometric_sum_huge(self):
+        # The closed form must stay finite and close to L * log2(c).
+        result = log2_geometric_sum(10.0, 1000)
+        assert result == pytest.approx(10_000.0, abs=1.0)
+
+    def test_geometric_sum_degenerate(self):
+        assert log2_geometric_sum(1.0, 0) == 0.0
+        assert log2_geometric_sum(1.0, -1) == LOG2_ZERO
+        assert log2_geometric_sum(LOG2_ZERO, 5) == 0.0
+
+
+class TestTypeCount:
+    def test_primitive_is_one_type(self):
+        assert log2_type_count(NUMBER_S) == 0.0
+
+    def test_never_is_zero_types(self):
+        assert log2_type_count(NEVER) == LOG2_ZERO
+
+    def test_union_adds(self):
+        assert log2_type_count(union(NUMBER_S, STRING_S)) == pytest.approx(1.0)
+
+    def test_required_fields_multiply(self):
+        schema = ObjectTuple(
+            {"a": union(NUMBER_S, STRING_S), "b": union(NUMBER_S, STRING_S)}
+        )
+        assert log2_type_count(schema) == pytest.approx(2.0)
+
+    def test_optional_field_binary_decision(self):
+        schema = ObjectTuple({}, {"a": NUMBER_S})
+        # present-with-number or absent: 2 types.
+        assert log2_type_count(schema) == pytest.approx(1.0)
+
+    def test_example1_kreduce_blowup(self):
+        """The Figure 1 K-reduce schema admits 4 types (user? x files?)."""
+        schema = ObjectTuple(
+            {"ts": NUMBER_S, "event": STRING_S},
+            {
+                "user": ObjectTuple({"name": STRING_S}),
+                "files": ArrayCollection(STRING_S, 0),
+            },
+        )
+        assert log2_type_count(schema) == pytest.approx(2.0)
+
+    def test_array_tuple_fixed(self):
+        schema = ArrayTuple((union(NUMBER_S, STRING_S), NUMBER_S))
+        assert log2_type_count(schema) == pytest.approx(1.0)
+
+    def test_array_tuple_optional_suffix(self):
+        schema = ArrayTuple((NUMBER_S, NUMBER_S), min_length=1)
+        # lengths 1 and 2, one type each: 2 types.
+        assert log2_type_count(schema) == pytest.approx(1.0)
+
+    def test_array_tuple_with_never_position(self):
+        schema = ArrayTuple((NUMBER_S, NEVER), min_length=1)
+        # Only length-1 arrays are realizable.
+        assert log2_type_count(schema) == pytest.approx(0.0)
+
+    def test_object_collection_domain_bits(self):
+        schema = ObjectCollection(NUMBER_S, domain=[f"k{i}" for i in range(7)])
+        # 7 presence bits, shared value schema contributes 0 bits.
+        assert log2_type_count(schema) == pytest.approx(7.0)
+
+    def test_object_collection_matches_optional_fields(self):
+        """A collection of primitives scores exactly like the same keys
+        as optional primitive fields — why Table 2's Pharma rows are
+        identical across extractors."""
+        keys = [f"drug{i}" for i in range(20)]
+        collection = ObjectCollection(NUMBER_S, domain=keys)
+        tuple_schema = ObjectTuple({}, {key: NUMBER_S for key in keys})
+        assert log2_type_count(collection) == pytest.approx(
+            log2_type_count(tuple_schema)
+        )
+
+    def test_array_collection_length_choice(self):
+        schema = ArrayCollection(NUMBER_S, max_length_seen=3)
+        assert log2_type_count(schema) == pytest.approx(math.log2(4))
+
+    def test_empty_collection_admits_one_type(self):
+        assert log2_type_count(ArrayCollection(NEVER, 0)) == 0.0
+        assert log2_type_count(ObjectCollection(NEVER, ())) == 0.0
+
+    def test_literal_collections_compound(self):
+        inner = ObjectCollection(NUMBER_S, domain=[f"i{i}" for i in range(10)])
+        outer = ObjectCollection(inner, domain=[f"o{i}" for i in range(10)])
+        decision = log2_type_count(outer)
+        literal = log2_type_count(outer, literal_collections=True)
+        assert decision == pytest.approx(20.0)
+        assert literal > 90.0  # 10 keys x ~10 bits each
+
+    def test_schema_entropy_alias(self):
+        schema = ObjectTuple({}, {"a": NUMBER_S})
+        assert schema_entropy(schema) == log2_type_count(schema)
+
+
+class TestMonotonicity:
+    def test_adding_optional_field_increases_entropy(self):
+        base = ObjectTuple({"a": NUMBER_S})
+        wider = ObjectTuple({"a": NUMBER_S}, {"b": NUMBER_S})
+        assert log2_type_count(wider) > log2_type_count(base)
+
+    def test_union_increases_entropy(self):
+        base = ObjectTuple({"a": NUMBER_S})
+        other = ObjectTuple({"b": STRING_S})
+        assert log2_type_count(union(base, other)) > log2_type_count(base)
+
+    def test_entity_split_reduces_entropy(self):
+        """The core of claim (i): two separate entities admit fewer
+        types than one entity with the union of fields optional."""
+        merged = ObjectTuple(
+            {"ts": NUMBER_S},
+            {"user": NUMBER_S, "files": STRING_S},
+        )
+        split = union(
+            ObjectTuple({"ts": NUMBER_S, "user": NUMBER_S}),
+            ObjectTuple({"ts": NUMBER_S, "files": STRING_S}),
+        )
+        assert log2_type_count(split) < log2_type_count(merged)

@@ -1,0 +1,111 @@
+"""Tests for JSON Schema export / import."""
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.discovery import Jxplain, KReduce, LReduce
+from repro.errors import UnsupportedSchemaError
+from repro.schema.entropy import schema_entropy
+from repro.schema.jsonschema import DIALECT, from_json_schema, to_json_schema
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+    union,
+)
+from tests.conftest import json_values
+
+
+class TestExport:
+    def test_primitive(self):
+        assert to_json_schema(NUMBER_S, root=False) == {"type": "number"}
+
+    def test_root_carries_dialect(self):
+        document = to_json_schema(NUMBER_S)
+        assert document["$schema"] == DIALECT
+
+    def test_never_is_false(self):
+        assert to_json_schema(NEVER, root=False) is False
+
+    def test_object_tuple_closed(self):
+        schema = ObjectTuple({"a": NUMBER_S}, {"b": STRING_S})
+        document = to_json_schema(schema, root=False)
+        assert document["additionalProperties"] is False
+        assert document["required"] == ["a"]
+        assert set(document["properties"]) == {"a", "b"}
+
+    def test_array_tuple_uses_prefix_items(self):
+        schema = ArrayTuple((NUMBER_S, STRING_S), min_length=1)
+        document = to_json_schema(schema, root=False)
+        assert document["minItems"] == 1
+        assert document["maxItems"] == 2
+        assert document["items"] is False
+
+    def test_collections_carry_stats(self):
+        document = to_json_schema(
+            ObjectCollection(NUMBER_S, ("b", "a")), root=False
+        )
+        assert document["x-repro"]["domain"] == ["a", "b"]
+        document = to_json_schema(ArrayCollection(STRING_S, 7), root=False)
+        assert document["x-repro"]["maxLengthSeen"] == 7
+
+    def test_export_is_json_serializable(self):
+        schema = union(
+            ObjectTuple({"a": NUMBER_S}),
+            ArrayCollection(STRING_S, 3),
+        )
+        json.dumps(to_json_schema(schema))
+
+
+class TestRoundTrip:
+    def _roundtrip(self, schema):
+        return from_json_schema(to_json_schema(schema))
+
+    def test_simple_nodes(self):
+        for schema in (
+            NUMBER_S,
+            NEVER,
+            ObjectTuple({"a": NUMBER_S}, {"b": STRING_S}),
+            ArrayTuple((NUMBER_S,), min_length=0),
+            ArrayCollection(STRING_S, 5),
+            ObjectCollection(NUMBER_S, ("x",)),
+            union(NUMBER_S, STRING_S),
+        ):
+            assert self._roundtrip(schema) == schema
+
+    @given(json_values(max_leaves=10))
+    def test_discovered_schemas_roundtrip(self, value):
+        for discoverer in (LReduce(), KReduce(), Jxplain()):
+            schema = discoverer.discover([value])
+            restored = self._roundtrip(schema)
+            assert restored == schema
+            assert schema_entropy(restored) == schema_entropy(schema)
+
+
+class TestImportValidation:
+    def test_unknown_fragment_rejected(self):
+        with pytest.raises(UnsupportedSchemaError):
+            from_json_schema({"type": "integer"})
+        with pytest.raises(UnsupportedSchemaError):
+            from_json_schema("nonsense")
+
+    def test_required_without_property_rejected(self):
+        with pytest.raises(UnsupportedSchemaError):
+            from_json_schema(
+                {
+                    "type": "object",
+                    "properties": {},
+                    "required": ["ghost"],
+                    "additionalProperties": False,
+                }
+            )
+
+    def test_array_without_items_rejected(self):
+        with pytest.raises(UnsupportedSchemaError):
+            from_json_schema({"type": "array"})

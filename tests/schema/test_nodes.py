@@ -1,0 +1,207 @@
+"""Tests for the schema grammar and admission semantics."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import SchemaConstructionError
+from repro.jsontypes.types import type_of
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    BOOLEAN_S,
+    NEVER,
+    NULL_S,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+    Union,
+    entity_count,
+    exact_schema,
+    iter_branches,
+    top_level_entity_count,
+    union,
+)
+from tests.conftest import json_values
+
+
+class TestPrimitiveSchema:
+    def test_admits_matching_kind_only(self):
+        assert NUMBER_S.admits_value(3)
+        assert NUMBER_S.admits_value(3.5)
+        assert not NUMBER_S.admits_value(True)
+        assert not NUMBER_S.admits_value("3")
+        assert NULL_S.admits_value(None)
+        assert BOOLEAN_S.admits_value(False)
+
+    def test_rejects_complex(self):
+        assert not STRING_S.admits_value([])
+        assert not STRING_S.admits_value({})
+
+
+class TestNever:
+    def test_admits_nothing(self):
+        for value in (None, 0, "x", [], {}):
+            assert not NEVER.admits_value(value)
+
+    def test_is_singleton(self):
+        from repro.schema.nodes import _Never
+
+        assert _Never() is NEVER
+
+
+class TestObjectTuple:
+    def test_required_and_optional(self):
+        schema = ObjectTuple({"a": NUMBER_S}, {"b": STRING_S})
+        assert schema.admits_value({"a": 1})
+        assert schema.admits_value({"a": 1, "b": "x"})
+        assert not schema.admits_value({"b": "x"})  # missing required
+        assert not schema.admits_value({"a": 1, "z": 2})  # unexpected
+        assert not schema.admits_value({"a": "wrong"})  # bad type
+        assert not schema.admits_value([1])  # wrong kind
+
+    def test_required_optional_overlap_rejected(self):
+        with pytest.raises(SchemaConstructionError):
+            ObjectTuple({"a": NUMBER_S}, {"a": STRING_S})
+
+    def test_non_schema_field_rejected(self):
+        with pytest.raises(SchemaConstructionError):
+            ObjectTuple({"a": 42})
+
+    def test_field_schema_lookup(self):
+        schema = ObjectTuple({"a": NUMBER_S}, {"b": STRING_S})
+        assert schema.field_schema("a") is NUMBER_S
+        assert schema.field_schema("b") is STRING_S
+        with pytest.raises(KeyError):
+            schema.field_schema("zz")
+
+    def test_empty_tuple_admits_only_empty_object(self):
+        schema = ObjectTuple()
+        assert schema.admits_value({})
+        assert not schema.admits_value({"a": 1})
+
+    def test_equality_ignores_construction_order(self):
+        first = ObjectTuple({"a": NUMBER_S, "b": STRING_S})
+        second = ObjectTuple({"b": STRING_S, "a": NUMBER_S})
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestArrayTuple:
+    def test_fixed_length(self):
+        schema = ArrayTuple((NUMBER_S, NUMBER_S))
+        assert schema.admits_value([1.0, 2.0])
+        assert not schema.admits_value([1.0])
+        assert not schema.admits_value([1.0, 2.0, 3.0])
+        assert not schema.admits_value([1.0, "x"])
+
+    def test_optional_suffix(self):
+        schema = ArrayTuple((NUMBER_S, STRING_S), min_length=1)
+        assert schema.admits_value([1])
+        assert schema.admits_value([1, "x"])
+        assert not schema.admits_value([])
+
+    def test_min_length_bounds_validated(self):
+        with pytest.raises(SchemaConstructionError):
+            ArrayTuple((NUMBER_S,), min_length=5)
+        with pytest.raises(SchemaConstructionError):
+            ArrayTuple((NUMBER_S,), min_length=-1)
+
+    def test_empty_tuple_admits_empty_array(self):
+        schema = ArrayTuple(())
+        assert schema.admits_value([])
+        assert not schema.admits_value([1])
+
+
+class TestCollections:
+    def test_array_collection_any_length(self):
+        schema = ArrayCollection(STRING_S, max_length_seen=2)
+        assert schema.admits_value([])
+        assert schema.admits_value(["a"])
+        # Admission ignores the observed max length — that is the point
+        # of calling it a collection.
+        assert schema.admits_value(["a"] * 10)
+        assert not schema.admits_value(["a", 1])
+
+    def test_object_collection_any_keys(self):
+        schema = ObjectCollection(NUMBER_S, domain=("x", "y"))
+        assert schema.admits_value({})
+        assert schema.admits_value({"anything": 1, "else": 2})
+        assert not schema.admits_value({"x": "not a number"})
+
+    def test_collection_stats_participate_in_equality(self):
+        assert ArrayCollection(STRING_S, 2) != ArrayCollection(STRING_S, 3)
+        assert ObjectCollection(NUMBER_S, ("a",)) != ObjectCollection(
+            NUMBER_S, ("b",)
+        )
+
+    def test_negative_max_length_rejected(self):
+        with pytest.raises(SchemaConstructionError):
+            ArrayCollection(STRING_S, -1)
+
+
+class TestUnion:
+    def test_normalization_flattens_and_dedups(self):
+        schema = union(NUMBER_S, union(NUMBER_S, STRING_S), NEVER)
+        assert isinstance(schema, Union)
+        assert set(schema.branches) == {NUMBER_S, STRING_S}
+
+    def test_empty_union_is_never(self):
+        assert union() is NEVER
+        assert union(NEVER, NEVER) is NEVER
+
+    def test_singleton_union_collapses(self):
+        assert union(NUMBER_S) is NUMBER_S
+
+    def test_admission_is_any_branch(self):
+        schema = union(NUMBER_S, STRING_S)
+        assert schema.admits_value(1)
+        assert schema.admits_value("x")
+        assert not schema.admits_value(True)
+
+    def test_raw_constructor_validates(self):
+        with pytest.raises(SchemaConstructionError):
+            Union([NUMBER_S])
+        with pytest.raises(SchemaConstructionError):
+            Union([NUMBER_S, union(STRING_S, BOOLEAN_S)])
+
+    def test_branch_order_irrelevant_for_equality(self):
+        assert union(NUMBER_S, STRING_S) == union(STRING_S, NUMBER_S)
+
+    def test_iter_branches(self):
+        assert list(iter_branches(NEVER)) == []
+        assert list(iter_branches(NUMBER_S)) == [NUMBER_S]
+        assert set(iter_branches(union(NUMBER_S, STRING_S))) == {
+            NUMBER_S,
+            STRING_S,
+        }
+
+
+class TestExactSchema:
+    @given(json_values())
+    def test_exact_schema_admits_its_value(self, value):
+        schema = exact_schema(type_of(value))
+        assert schema.admits_value(value)
+
+    def test_exact_schema_is_tight(self):
+        schema = exact_schema(type_of({"a": [1, 2]}))
+        assert not schema.admits_value({"a": [1]})
+        assert not schema.admits_value({"a": [1, 2], "b": 3})
+        assert not schema.admits_value({})
+
+
+class TestEntityCount:
+    def test_counts_tuples_not_collections(self):
+        schema = union(
+            ObjectTuple({"a": NUMBER_S}),
+            ObjectCollection(ObjectTuple({"b": STRING_S})),
+            ArrayCollection(ArrayTuple((NUMBER_S,))),
+        )
+        assert entity_count(schema) == 3
+        assert top_level_entity_count(schema) == 1
+
+    def test_walk_covers_all_nodes(self):
+        schema = ObjectTuple({"a": union(NUMBER_S, STRING_S)})
+        names = [type(node).__name__ for node in schema.walk()]
+        assert names.count("ObjectTuple") == 1
+        assert names.count("Union") == 1

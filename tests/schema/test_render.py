@@ -1,0 +1,66 @@
+"""Tests for schema rendering."""
+
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+    union,
+)
+from repro.schema.render import render, summary
+
+
+class TestRender:
+    def test_primitives(self):
+        assert render(NUMBER_S) == "number"
+        assert render(STRING_S) == "string"
+
+    def test_never(self):
+        assert render(NEVER) == "never"
+
+    def test_object_tuple_compact(self):
+        schema = ObjectTuple({"b": NUMBER_S}, {"a": STRING_S})
+        assert render(schema, compact=True) == "{a?: string, b: number}"
+
+    def test_empty_object(self):
+        assert render(ObjectTuple(), compact=True) == "{}"
+
+    def test_array_tuple(self):
+        schema = ArrayTuple((NUMBER_S, NUMBER_S))
+        assert render(schema, compact=True) == "[number, number]"
+
+    def test_array_tuple_optional_suffix_marked(self):
+        schema = ArrayTuple((NUMBER_S, STRING_S), min_length=1)
+        assert render(schema, compact=True) == "[number, string?]"
+
+    def test_collections(self):
+        assert render(ArrayCollection(STRING_S), compact=True) == "[string]*"
+        assert (
+            render(ObjectCollection(NUMBER_S), compact=True)
+            == "{*: number}*"
+        )
+
+    def test_union_pipes(self):
+        schema = union(NUMBER_S, STRING_S)
+        assert render(schema, compact=True) in (
+            "number | string",
+            "string | number",
+        )
+
+    def test_pretty_print_multiline(self):
+        schema = ObjectTuple({"a": ObjectTuple({"b": NUMBER_S})})
+        text = render(schema)
+        assert "\n" in text
+        assert "  " in text
+
+    def test_repr_uses_render(self):
+        assert repr(NUMBER_S) == "number"
+
+    def test_summary(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        text = summary(schema)
+        assert "nodes=2" in text
+        assert "entities=1" in text

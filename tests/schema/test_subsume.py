@@ -1,0 +1,144 @@
+"""Tests for schema subsumption and union simplification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery import Jxplain, KReduce, LReduce
+from repro.jsontypes.types import type_of
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+    union,
+)
+from repro.schema.subsume import simplify_union, subsumes
+from tests.conftest import json_values
+
+value_lists = st.lists(json_values(max_leaves=6), min_size=1, max_size=6)
+
+
+class TestSubsumes:
+    def test_reflexive(self):
+        schema = ObjectTuple({"a": NUMBER_S}, {"b": STRING_S})
+        assert subsumes(schema, schema)
+
+    def test_never_bottom(self):
+        assert subsumes(NUMBER_S, NEVER)
+        assert not subsumes(NEVER, NUMBER_S)
+        assert subsumes(NEVER, NEVER)
+
+    def test_optional_widens(self):
+        narrow = ObjectTuple({"a": NUMBER_S, "b": STRING_S})
+        wide = ObjectTuple({"a": NUMBER_S}, {"b": STRING_S})
+        assert subsumes(wide, narrow)
+        assert not subsumes(narrow, wide)
+
+    def test_extra_optional_field_widens(self):
+        narrow = ObjectTuple({"a": NUMBER_S})
+        wide = ObjectTuple({"a": NUMBER_S}, {"extra": STRING_S})
+        assert subsumes(wide, narrow)
+        assert not subsumes(narrow, wide)
+
+    def test_union_covers_branches(self):
+        wide = union(NUMBER_S, STRING_S)
+        assert subsumes(wide, NUMBER_S)
+        assert subsumes(wide, union(STRING_S, NUMBER_S))
+        assert not subsumes(NUMBER_S, wide)
+
+    def test_collection_subsumes_tuple(self):
+        collection = ObjectCollection(NUMBER_S)
+        tuple_schema = ObjectTuple({"a": NUMBER_S}, {"b": NUMBER_S})
+        assert subsumes(collection, tuple_schema)
+        assert not subsumes(tuple_schema, collection)
+
+    def test_array_collection_subsumes_array_tuple(self):
+        collection = ArrayCollection(NUMBER_S)
+        tuple_schema = ArrayTuple((NUMBER_S, NUMBER_S), min_length=1)
+        assert subsumes(collection, tuple_schema)
+
+    def test_array_tuple_bounds(self):
+        wide = ArrayTuple((NUMBER_S, NUMBER_S), min_length=0)
+        narrow = ArrayTuple((NUMBER_S,), min_length=1)
+        assert subsumes(wide, narrow)
+        assert not subsumes(narrow, wide)
+
+    def test_mixed_kinds_never_subsume(self):
+        assert not subsumes(NUMBER_S, STRING_S)
+        assert not subsumes(ObjectTuple({}), ArrayTuple(()))
+
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_kreduce_subsumes_lreduce(self, values):
+        """K-reduce generalizes naive discovery, provably per input."""
+        types = [type_of(v) for v in values]
+        assert subsumes(
+            KReduce().merge_types(types), LReduce().merge_types(types)
+        )
+
+    @given(value_lists, json_values(max_leaves=6))
+    @settings(max_examples=60, deadline=None)
+    def test_soundness(self, values, probe):
+        """If subsumes(a, b) then every value b admits, a admits."""
+        types = [type_of(v) for v in values]
+        narrow = LReduce().merge_types(types)
+        wide = KReduce().merge_types(types)
+        if subsumes(wide, narrow) and narrow.admits_value(probe):
+            assert wide.admits_value(probe)
+
+
+class TestSimplifyUnion:
+    def test_drops_subsumed_branch(self):
+        wide = ObjectTuple({"a": NUMBER_S}, {"b": STRING_S})
+        narrow = ObjectTuple({"a": NUMBER_S, "b": STRING_S})
+        simplified = simplify_union(union(wide, narrow))
+        assert simplified == wide
+
+    def test_keeps_incomparable_branches(self):
+        first = ObjectTuple({"a": NUMBER_S})
+        second = ObjectTuple({"x": STRING_S})
+        schema = union(first, second)
+        assert simplify_union(schema) == schema
+
+    def test_recurses_into_fields(self):
+        inner = union(
+            ObjectTuple({"a": NUMBER_S}, {"b": STRING_S}),
+            ObjectTuple({"a": NUMBER_S, "b": STRING_S}),
+        )
+        outer = ObjectTuple({"payload": inner})
+        simplified = simplify_union(outer)
+        assert simplified.field_schema("payload") == ObjectTuple(
+            {"a": NUMBER_S}, {"b": STRING_S}
+        )
+
+    def test_primitives_untouched(self):
+        assert simplify_union(NUMBER_S) is NUMBER_S
+        assert simplify_union(NEVER) is NEVER
+
+    @given(value_lists, json_values(max_leaves=6))
+    @settings(max_examples=40, deadline=None)
+    def test_simplification_preserves_admission(self, values, probe):
+        types = [type_of(v) for v in values]
+        schema = union(
+            LReduce().merge_types(types), KReduce().merge_types(types)
+        )
+        simplified = simplify_union(schema)
+        # Sound subsumption: the simplified schema admits exactly what
+        # the original did on any probe.
+        assert simplified.admits_value(probe) == schema.admits_value(probe)
+        for value in values:
+            assert simplified.admits_value(value)
+
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_simplification_never_grows(self, values):
+        types = [type_of(v) for v in values]
+        schema = union(
+            LReduce().merge_types(types),
+            KReduce().merge_types(types),
+            Jxplain().merge_types(types),
+        )
+        assert simplify_union(schema).node_count() <= schema.node_count()

@@ -1,0 +1,123 @@
+"""Tests for the jxplain command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.jsonlines import write_jsonlines
+
+
+@pytest.fixture
+def figure1_file(tmp_path, figure1_records):
+    path = tmp_path / "fig1.jsonl"
+    write_jsonlines(path, figure1_records * 10)
+    return path
+
+
+class TestDiscover:
+    def test_text_output(self, figure1_file, capsys):
+        assert main(["discover", str(figure1_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ts: number" in out
+
+    def test_json_output_to_file(self, figure1_file, tmp_path):
+        target = tmp_path / "schema.json"
+        code = main(
+            [
+                "discover",
+                str(figure1_file),
+                "--format",
+                "json",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert "$schema" in document
+
+    def test_algorithm_selection(self, figure1_file, capsys):
+        assert main(
+            ["discover", str(figure1_file), "--algorithm", "k-reduce"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "files?" in out  # K-reduce makes files optional
+
+    def test_empty_input_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["discover", str(path)]) == 2
+
+
+class TestValidate:
+    def test_accepts_training_data(self, figure1_file, tmp_path, capsys):
+        schema_path = tmp_path / "schema.json"
+        main(
+            [
+                "discover",
+                str(figure1_file),
+                "--format",
+                "json",
+                "--output",
+                str(schema_path),
+            ]
+        )
+        code = main(["validate", str(schema_path), str(figure1_file)])
+        assert code == 0
+        assert "recall 1.0000" in capsys.readouterr().out
+
+    def test_rejections_reported_and_explained(
+        self, figure1_file, tmp_path, capsys
+    ):
+        schema_path = tmp_path / "schema.json"
+        main(
+            [
+                "discover",
+                str(figure1_file),
+                "--format",
+                "json",
+                "--output",
+                str(schema_path),
+            ]
+        )
+        bad_path = tmp_path / "bad.jsonl"
+        write_jsonlines(bad_path, [{"ts": 1, "event": "x", "weird": 1}])
+        code = main(
+            ["validate", str(schema_path), str(bad_path), "--explain", "1"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 rejected" in out
+        assert "record 0:" in out
+
+
+class TestOtherCommands:
+    def test_generate(self, tmp_path, capsys):
+        target = tmp_path / "data.jsonl"
+        code = main(
+            ["generate", "figure1", str(target), "--records", "25"]
+        )
+        assert code == 0
+        assert "wrote 25 records" in capsys.readouterr().out
+
+    def test_entropy(self, figure1_file, tmp_path, capsys):
+        schema_path = tmp_path / "schema.json"
+        main(
+            [
+                "discover",
+                str(figure1_file),
+                "--format",
+                "json",
+                "--output",
+                str(schema_path),
+            ]
+        )
+        assert main(["entropy", str(schema_path)]) == 0
+        float(capsys.readouterr().out)
+
+    def test_lists(self, capsys):
+        assert main(["datasets"]) == 0
+        assert "github" in capsys.readouterr().out
+        assert main(["algorithms"]) == 0
+        assert "bimax-merge" in capsys.readouterr().out

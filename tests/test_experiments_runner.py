@@ -1,0 +1,74 @@
+"""Tests for the programmatic experiment runner."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    figure4_histogram,
+    main,
+    table3_entities,
+    table4_conciseness,
+)
+
+#: A tiny scale keeping each runner test under a few seconds.
+SCALE = 0.12
+
+
+class TestRunners:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5", "figure4",
+        }
+
+    def test_table3_runs_and_reports(self):
+        text = table3_entities(["yelp-merged"], scale=SCALE)
+        assert "bimax-merge" in text
+        assert "k-means" in text
+
+    def test_table4_runs(self):
+        text = table4_conciseness(["yelp-photos", "pharma"], scale=SCALE)
+        assert "yelp-photos" in text
+        assert "pharma" in text
+
+    def test_figure4_histogram_shape(self):
+        text = figure4_histogram(["pharma"], scale=SCALE)
+        assert "histogram" in text
+        assert "[4.0, inf)" in text
+
+    def test_sweep_experiments_run(self):
+        from repro.experiments import table1_recall, table2_entropy
+
+        recall = table1_recall(["yelp-photos"], scale=SCALE)
+        assert "k-reduce:mean" in recall
+        entropy = table2_entropy(["yelp-photos"], scale=SCALE)
+        assert "bimax-merge:mean" in entropy
+
+
+class TestCli:
+    def test_single_experiment_to_stdout(self, capsys):
+        code = main(
+            [
+                "--experiment", "table4",
+                "--datasets", "yelp-photos",
+                "--scale", str(SCALE),
+            ]
+        )
+        assert code == 0
+        assert "yelp-photos" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        code = main(
+            [
+                "--experiment", "figure4",
+                "--datasets", "pharma",
+                "--scale", str(SCALE),
+                "--output", str(target),
+            ]
+        )
+        assert code == 0
+        assert "histogram" in target.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table99"])

@@ -1,0 +1,142 @@
+"""Tests for structural schema diffing."""
+
+from repro.datasets import make_dataset
+from repro.discovery import Jxplain
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+    union,
+)
+from repro.validation.diff import ChangeKind, diff_schemas
+
+
+class TestBasicChanges:
+    def test_identical_schemas(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        diff = diff_schemas(schema, schema)
+        assert diff.is_empty
+        assert "identical" in diff.summary()
+
+    def test_field_added(self):
+        old = ObjectTuple({"a": NUMBER_S})
+        new = ObjectTuple({"a": NUMBER_S}, {"b": STRING_S})
+        diff = diff_schemas(old, new)
+        assert len(diff.changes) == 1
+        change = diff.changes[0]
+        assert change.kind is ChangeKind.ADDED
+        assert change.path == ("b",)
+        assert change.breaking
+
+    def test_field_removed(self):
+        old = ObjectTuple({"a": NUMBER_S, "b": STRING_S})
+        new = ObjectTuple({"a": NUMBER_S})
+        diff = diff_schemas(old, new)
+        assert diff.changes[0].kind is ChangeKind.REMOVED
+
+    def test_requiredness_changes(self):
+        old = ObjectTuple({"a": NUMBER_S, "b": STRING_S})
+        new = ObjectTuple({"a": NUMBER_S}, {"b": STRING_S})
+        diff = diff_schemas(old, new)
+        assert diff.changes[0].kind is ChangeKind.REQUIRED_TO_OPTIONAL
+        reverse = diff_schemas(new, old)
+        assert reverse.changes[0].kind is ChangeKind.OPTIONAL_TO_REQUIRED
+
+    def test_primitive_type_change(self):
+        old = ObjectTuple({"a": NUMBER_S})
+        new = ObjectTuple({"a": STRING_S})
+        diff = diff_schemas(old, new)
+        assert diff.changes[0].kind is ChangeKind.TYPE_CHANGED
+        assert "number -> string" in diff.changes[0].detail
+
+    def test_reshape_tuple_to_collection(self):
+        old = ObjectTuple({"x": ObjectTuple({"k1": NUMBER_S})})
+        new = ObjectTuple({"x": ObjectCollection(NUMBER_S)})
+        diff = diff_schemas(old, new)
+        assert diff.changes[0].kind is ChangeKind.RESHAPED
+        assert diff.changes[0].breaking
+
+    def test_array_bounds_changed(self):
+        old = ArrayTuple((NUMBER_S, NUMBER_S))
+        new = ArrayTuple((NUMBER_S, NUMBER_S, NUMBER_S), min_length=2)
+        diff = diff_schemas(old, new)
+        kinds = {change.kind for change in diff.changes}
+        assert ChangeKind.BOUNDS_CHANGED in kinds
+        assert ChangeKind.ADDED in kinds
+
+    def test_collection_drift_is_informational(self):
+        old = ObjectCollection(NUMBER_S, domain=("a",))
+        new = ObjectCollection(NUMBER_S, domain=("a", "b"))
+        diff = diff_schemas(old, new)
+        assert diff.changes[0].kind is ChangeKind.DOMAIN_GREW
+        assert not diff.changes[0].breaking
+        assert not diff.breaking_changes()
+
+    def test_array_length_drift_informational(self):
+        old = ArrayCollection(STRING_S, 3)
+        new = ArrayCollection(STRING_S, 9)
+        diff = diff_schemas(old, new)
+        assert diff.changes[0].kind is ChangeKind.LENGTH_DRIFT
+        assert not diff.changes[0].breaking
+
+
+class TestUnionMatching:
+    def test_new_entity_reported_once(self):
+        login = ObjectTuple({"ts": NUMBER_S, "user": STRING_S})
+        serve = ObjectTuple({"ts": NUMBER_S, "files": STRING_S})
+        fetch = ObjectTuple({"ts": NUMBER_S, "url": STRING_S})
+        diff = diff_schemas(union(login, serve), union(login, serve, fetch))
+        assert len(diff.changes) == 1
+        assert diff.changes[0].kind is ChangeKind.ENTITY_ADDED
+
+    def test_removed_entity(self):
+        login = ObjectTuple({"ts": NUMBER_S, "user": STRING_S})
+        serve = ObjectTuple({"ts": NUMBER_S, "files": STRING_S})
+        diff = diff_schemas(union(login, serve), login)
+        assert any(
+            change.kind is ChangeKind.ENTITY_REMOVED
+            for change in diff.changes
+        )
+
+    def test_similar_entities_pair_up(self):
+        """Changing one field of one entity reports that field, not an
+        entity swap."""
+        login_old = ObjectTuple({"ts": NUMBER_S, "user": STRING_S})
+        login_new = ObjectTuple(
+            {"ts": NUMBER_S, "user": STRING_S}, {"mfa": STRING_S}
+        )
+        serve = ObjectTuple({"ts": NUMBER_S, "files": STRING_S})
+        diff = diff_schemas(
+            union(login_old, serve), union(login_new, serve)
+        )
+        assert len(diff.changes) == 1
+        assert diff.changes[0].kind is ChangeKind.ADDED
+        assert diff.changes[0].path == ("mfa",)
+
+
+class TestEndToEnd:
+    def test_schema_drift_on_synthetic_stream(self):
+        """Discover on two eras of the synapse stream; the diff names
+        the envelope fields the protocol revisions added."""
+        records = make_dataset("synapse").generate(2000, seed=9)
+        early = Jxplain().discover(records[:600])
+        late = Jxplain().discover(records[-600:])
+        diff = diff_schemas(early, late)
+        added_paths = {
+            change.path[-1]
+            for change in diff.changes
+            if change.kind in (ChangeKind.ADDED, ChangeKind.ENTITY_ADDED)
+            and change.path
+        }
+        assert "auth_events" in added_paths or any(
+            "auth_events" in str(change) for change in diff.changes
+        )
+
+    def test_no_drift_same_era(self):
+        records = make_dataset("yelp-photos").generate(300, seed=1)
+        first = Jxplain().discover(records[:150])
+        second = Jxplain().discover(records[150:])
+        assert diff_schemas(first, second).is_empty

@@ -1,0 +1,132 @@
+"""Tests for greedy schema repair and the §7.5 edit counter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery import Jxplain, KReduce
+from repro.jsontypes.types import type_of
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+)
+from repro.validation.edits import edits_to_full_recall, repair_schema
+from tests.conftest import json_values
+
+
+class TestRepairSchema:
+    def test_admitted_record_costs_nothing(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        repaired, log = repair_schema(schema, type_of({"a": 1}))
+        assert repaired == schema
+        assert log.count == 0
+
+    def test_missing_required_becomes_optional(self):
+        schema = ObjectTuple({"a": NUMBER_S, "b": NUMBER_S})
+        repaired, log = repair_schema(schema, type_of({"a": 1}))
+        assert repaired.admits_value({"a": 1})
+        assert repaired.admits_value({"a": 1, "b": 2})
+        assert log.count == 1
+
+    def test_new_field_added_optional(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        repaired, log = repair_schema(schema, type_of({"a": 1, "z": "s"}))
+        assert repaired.admits_value({"a": 1, "z": "s"})
+        assert repaired.admits_value({"a": 1})
+        assert log.count == 1
+        assert "add optional field 'z'" in log.entries[0]
+
+    def test_wrong_kind_adds_branch(self):
+        repaired, log = repair_schema(NUMBER_S, type_of("text"))
+        assert repaired.admits_value(1)
+        assert repaired.admits_value("text")
+        assert log.count == 1
+
+    def test_array_tuple_extension(self):
+        schema = ArrayTuple((NUMBER_S, NUMBER_S))
+        repaired, log = repair_schema(schema, type_of([1, 2, 3]))
+        assert repaired.admits_value([1, 2, 3])
+        assert repaired.admits_value([1, 2])
+        repaired, log = repair_schema(repaired, type_of([1]))
+        assert repaired.admits_value([1])
+
+    def test_collection_repairs_ride_free_for_new_keys(self):
+        schema = ObjectCollection(NUMBER_S, ("a",))
+        repaired, log = repair_schema(schema, type_of({"new_key": 5}))
+        # Collections already admit new keys: no edit, no change.
+        assert log.count == 0
+        assert repaired == schema
+
+    def test_collection_element_type_widens(self):
+        schema = ArrayCollection(NUMBER_S, 2)
+        repaired, log = repair_schema(schema, type_of(["text"]))
+        assert repaired.admits_value(["text", 1.0])
+        assert log.count == 1
+
+    def test_never_repair(self):
+        repaired, log = repair_schema(NEVER, type_of({"a": 1}))
+        assert repaired.admits_value({"a": 1})
+        assert log.count == 1
+
+    @given(json_values(max_leaves=8), json_values(max_leaves=8))
+    @settings(max_examples=60, deadline=None)
+    def test_repair_always_admits(self, seed_value, new_value):
+        """Repair is total: any record can be patched in, and the
+        original seed value stays admitted."""
+        schema = Jxplain().discover([seed_value])
+        repaired, _ = repair_schema(schema, type_of(new_value))
+        assert repaired.admits_value(new_value)
+        assert repaired.admits_value(seed_value)
+
+
+class TestEditsToFullRecall:
+    def test_zero_edits_when_all_admitted(self, login_serve_stream):
+        schema = Jxplain().discover(login_serve_stream)
+        report = edits_to_full_recall(
+            schema, [type_of(r) for r in login_serve_stream]
+        )
+        assert report.edit_count == 0
+        assert report.repaired_records == 0
+
+    def test_shared_fixes_counted_once(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        rejects = [type_of({"a": 1, "z": i}) for i in range(5)]
+        report = edits_to_full_recall(schema, rejects)
+        # One edit (add optional z) covers all five rejects.
+        assert report.edit_count == 1
+        assert report.repaired_records == 1
+
+    def test_final_schema_has_full_recall(self, login_serve_stream):
+        tiny_schema = Jxplain().discover(login_serve_stream[:2])
+        types = [type_of(r) for r in login_serve_stream]
+        report = edits_to_full_recall(tiny_schema, types)
+        for tau in types:
+            assert report.schema.admits_type(tau)
+
+    def test_collection_schemas_need_fewer_edits(self):
+        """§7.5's observation: Bimax-Merge needs fewer edits than
+        K-reduce on collection-like data (new keys are free)."""
+        drugs = [
+            {"counts": {f"drug{i}": 1, f"drug{i+1}": 2}}
+            for i in range(0, 60, 2)
+        ]
+        train, test = drugs[:10], drugs[10:]
+        test_types = [type_of(r) for r in test]
+        jx_report = edits_to_full_recall(
+            Jxplain().discover(train), test_types
+        )
+        kr_report = edits_to_full_recall(
+            KReduce().discover(train), test_types
+        )
+        assert jx_report.edit_count < kr_report.edit_count
+
+    def test_edits_per_failure(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        report = edits_to_full_recall(schema, [type_of({"a": 1, "z": 1})])
+        assert report.edits_per_failure == 1.0
+        empty = edits_to_full_recall(schema, [])
+        assert empty.edits_per_failure == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the iterative refinement loop (§4.2)."""
+
+import pytest
+
+from repro.discovery import Jxplain, LReduce
+from repro.errors import EmptyInputError
+from repro.validation.refine import iterative_refinement
+
+
+def rare_field_stream(n=200):
+    """A stream where one optional field is rare (1 in 50)."""
+    records = []
+    for index in range(n):
+        record = {"id": index, "kind": "event"}
+        if index % 50 == 17:
+            record["rare"] = True
+        records.append(record)
+    return records
+
+
+class TestIterativeRefinement:
+    def test_converges_on_homogeneous_data(self):
+        records = [{"a": i} for i in range(100)]
+        result = iterative_refinement(Jxplain(), records, seed=1)
+        assert result.converged
+        assert result.total_rounds == 1
+
+    def test_mops_up_rare_fields(self):
+        records = rare_field_stream()
+        result = iterative_refinement(
+            Jxplain(), records, initial_fraction=0.02, seed=3
+        )
+        assert result.converged
+        # Every record validates against the final schema.
+        for record in records:
+            assert result.schema.admits_value(record)
+        # The sample grew only by the failures, not the whole data.
+        assert result.final_sample_size < len(records) // 2
+
+    def test_round_diagnostics_monotone_sample(self):
+        records = rare_field_stream()
+        result = iterative_refinement(
+            Jxplain(), records, initial_fraction=0.02, seed=3
+        )
+        sizes = [round_.sample_size for round_ in result.rounds]
+        assert sizes == sorted(sizes)
+
+    def test_max_rounds_respected(self):
+        # L-reduce can never generalize, so the loop keeps finding
+        # failures until the cap.
+        records = [{"id": i, f"f{i}": i} for i in range(60)]
+        result = iterative_refinement(
+            LReduce(),
+            records,
+            initial_fraction=0.05,
+            max_rounds=3,
+            max_failures_per_round=5,
+        )
+        assert not result.converged
+        assert result.total_rounds == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(EmptyInputError):
+            iterative_refinement(Jxplain(), [])
+        with pytest.raises(ValueError):
+            iterative_refinement(Jxplain(), [{}], initial_fraction=0.0)
+        with pytest.raises(ValueError):
+            iterative_refinement(Jxplain(), [{}], max_rounds=0)
+
+    def test_deterministic_under_seed(self):
+        records = rare_field_stream()
+        first = iterative_refinement(Jxplain(), records, seed=9)
+        second = iterative_refinement(Jxplain(), records, seed=9)
+        assert first.schema == second.schema
+        assert [r.failures for r in first.rounds] == [
+            r.failures for r in second.rounds
+        ]

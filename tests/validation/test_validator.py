@@ -1,0 +1,133 @@
+"""Tests for record validation and rejection explanation."""
+
+from repro.discovery import Jxplain, KReduce
+from repro.jsontypes.types import type_of
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    NUMBER_S,
+    ObjectCollection,
+    ObjectTuple,
+    STRING_S,
+    union,
+)
+from repro.validation.validator import (
+    explain_rejection,
+    first_failures,
+    recall_against,
+    validate_records,
+)
+
+
+class TestValidateRecords:
+    def test_counts(self, login_serve_stream):
+        schema = Jxplain().discover(login_serve_stream)
+        good = login_serve_stream
+        bad = [{"ts": 1, "event": "x", "unknown": True}]
+        report = validate_records(schema, good + bad)
+        assert report.total == len(good) + 1
+        assert report.valid_count == len(good)
+        assert report.invalid_count == 1
+        assert report.failure_indices() == [len(good)]
+        assert 0 < report.recall < 1
+
+    def test_empty_report(self):
+        report = validate_records(NUMBER_S, [])
+        assert report.recall == 1.0
+        assert report.total == 0
+
+    def test_explanations_attached_on_request(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        report = validate_records(schema, [{"b": 1}], explain=True)
+        failure = report.failures()[0]
+        assert failure.violations
+        assert any(
+            "missing required" in str(v) for v in failure.violations
+        )
+
+
+class TestExplainRejection:
+    def test_missing_required(self):
+        schema = ObjectTuple({"a": NUMBER_S, "b": STRING_S})
+        violations = explain_rejection(schema, type_of({"a": 1}))
+        assert len(violations) == 1
+        assert "missing required field 'b'" in str(violations[0])
+
+    def test_unexpected_field(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        violations = explain_rejection(schema, type_of({"a": 1, "z": 2}))
+        assert "unexpected field 'z'" in str(violations[0])
+
+    def test_wrong_primitive(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        violations = explain_rejection(schema, type_of({"a": "text"}))
+        assert "expected number, found string" in str(violations[0])
+
+    def test_nested_path_rendered(self):
+        schema = ObjectTuple(
+            {"user": ObjectTuple({"geo": ArrayTuple((NUMBER_S, NUMBER_S))})}
+        )
+        violations = explain_rejection(
+            schema, type_of({"user": {"geo": [1.0]}})
+        )
+        assert any("$.user.geo" in str(v) for v in violations)
+        assert any("too short" in str(v) for v in violations)
+
+    def test_array_too_long(self):
+        schema = ArrayTuple((NUMBER_S,))
+        violations = explain_rejection(schema, type_of([1, 2]))
+        assert any("too long" in str(v) for v in violations)
+
+    def test_collection_element_violation(self):
+        schema = ArrayCollection(NUMBER_S)
+        violations = explain_rejection(schema, type_of([1, "bad"]))
+        assert any("$[1]" in str(v) for v in violations)
+
+    def test_object_collection_value_violation(self):
+        schema = ObjectCollection(NUMBER_S)
+        violations = explain_rejection(schema, type_of({"k": "bad"}))
+        assert any("$.k" in str(v) for v in violations)
+
+    def test_picks_closest_branch(self):
+        schema = union(
+            ObjectTuple({"a": NUMBER_S, "b": NUMBER_S}),
+            ObjectTuple({"x": STRING_S}),
+        )
+        # One violation against the first branch, two against the
+        # second: the explanation uses the first.
+        violations = explain_rejection(schema, type_of({"a": 1}))
+        assert len(violations) == 1
+        assert "'b'" in str(violations[0])
+
+    def test_never_schema(self):
+        violations = explain_rejection(NEVER, type_of({}))
+        assert "admits no records" in str(violations[0])
+
+    def test_admitted_type_has_no_violations(self):
+        schema = ObjectTuple({"a": NUMBER_S})
+        assert explain_rejection(schema, type_of({"a": 1})) == []
+
+
+class TestHelpers:
+    def test_recall_against(self):
+        schema = NUMBER_S
+        types = [type_of(1), type_of("x"), type_of(2)]
+        assert recall_against(schema, types) == 2 / 3
+        assert recall_against(schema, []) == 1.0
+
+    def test_first_failures_limit(self):
+        schema = NUMBER_S
+        records = ["a", "b", "c", "d"]
+        failures = first_failures(schema, records, limit=2)
+        assert [index for index, _ in failures] == [0, 1]
+
+    def test_kreduce_explains_monitoring_use_case(
+        self, login_serve_stream
+    ):
+        """The intro's scenario: a new event shape arrives and the
+        validator pinpoints what changed."""
+        schema = KReduce().discover(login_serve_stream)
+        new_event = {"ts": 99, "event": "login", "user": {"name": 1}}
+        violations = explain_rejection(schema, type_of(new_event))
+        assert any("$.user.name" in str(v) for v in violations)
