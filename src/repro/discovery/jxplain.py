@@ -10,6 +10,14 @@ data-independent assumptions of K-reduction:
 
 This module is the *reference* recursive implementation: it sees the
 whole bag at each path, exactly as the simplified Algorithm 4 does.
+Bags are threaded through the recursion as
+:class:`~repro.jsontypes.bag.TypeBag`\\ s: with counted bags (the
+default) every level operates on *distinct* types with multiplicities
+— the heuristics consume weighted statistics that are exactly equal to
+the duplicate-by-duplicate ones — so merge cost tracks distinct
+structure rather than corpus size.  ``set_counted_merge(False)``
+restores the seed's duplicate-preserving lists, which the equivalence
+tests use to verify the two representations produce identical schemas.
 The staged three-pass variant that decouples the heuristics for
 distribution (Figure 3) lives in :mod:`repro.discovery.pipeline`; it
 subclasses :class:`JxplainMerger` and overrides the two heuristic
@@ -23,10 +31,12 @@ add a path step — all entities at a path share it.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union as TUnion
 
 from repro.discovery.base import Discoverer, register_discoverer
 from repro.discovery.config import EntityStrategy, FeatureMode, JxplainConfig
+from repro.engine.instrument import counters
+from repro.jsontypes.bag import TypeBag, as_bag
 from repro.entities.bimax import EntityCluster, bimax_naive
 from repro.entities.greedy_merge import merge_to_fixpoint, greedy_merge
 from repro.entities.kmeans import kmeans_clusters
@@ -123,14 +133,19 @@ class JxplainMerger:
         return designation is Designation.COLLECTION
 
     def object_features(
-        self, objects: Sequence[ObjectType], path: Path
+        self,
+        objects: Sequence[ObjectType],
+        path: Path,
+        counts: Optional[Sequence[int]] = None,
     ) -> List[frozenset]:
         """The feature vector of each object, per the configured mode.
 
         ``PATHS`` mode (the paper's §6.4 implementation) runs a local
         mini pass ① over the bag to find nested collections, then
         prunes feature paths beneath them; ``KEYS`` mode uses the
-        top-level key set.
+        top-level key set.  ``counts`` carries the multiplicity of each
+        object when the caller has deduplicated the bag, so the mini
+        pass sees the same weighted statistics either way.
         """
         if self.config.feature_mode is FeatureMode.KEYS:
             return [tau.key_set() for tau in objects]
@@ -144,7 +159,9 @@ class JxplainMerger:
         from repro.entities.features import type_paths
 
         tree = StatTree.from_types(
-            objects, similarity_depth=self.config.similarity_depth
+            objects,
+            similarity_depth=self.config.similarity_depth,
+            counts=counts,
         )
         local_decisions = decide_collections(tree, self.config)
         nested_collections = collection_paths(local_decisions)
@@ -158,10 +175,13 @@ class JxplainMerger:
         ]
 
     def partition_objects(
-        self, objects: Sequence[ObjectType], path: Path
+        self,
+        objects: Sequence[ObjectType],
+        path: Path,
+        counts: Optional[Sequence[int]] = None,
     ) -> List[List[ObjectType]]:
         """Split tuple-like objects into entities via feature clusters."""
-        features = self.object_features(objects, path)
+        features = self.object_features(objects, path, counts=counts)
         clusters = cluster_key_sets(features, self.config)
         partitioner = EntityPartitioner(clusters)
         return partitioner.non_empty_groups(list(objects), features)
@@ -179,30 +199,38 @@ class JxplainMerger:
 
     # -- the merge itself ---------------------------------------------------
 
-    def merge(self, types: Iterable[JsonType]) -> Schema:
-        materialized = list(types)
-        if not materialized:
+    def merge(self, types: TUnion[TypeBag, Iterable[JsonType]]) -> Schema:
+        bag = as_bag(types)
+        if not bag:
             raise EmptyInputError("jxplain: no input types")
-        return self._merge_at(materialized, path=ROOT, depth=0)
+        counters.add("jxplain.merge_total_types", bag.total)
+        counters.add("jxplain.merge_distinct_types", bag.distinct_count)
+        return self._merge_at(bag, path=ROOT, depth=0)
 
     def _merge_at(
-        self, types: List[JsonType], path: Path, depth: int
+        self,
+        types: TUnion[TypeBag, Iterable[JsonType]],
+        path: Path,
+        depth: int,
     ) -> Schema:
+        bag = as_bag(types)
         if depth > self.config.max_depth:
             raise RecursionDepthError(
                 f"merge exceeded max_depth={self.config.max_depth} at {path}"
             )
         primitive_kinds: List[Kind] = []
-        arrays: List[ArrayType] = []
-        objects: List[ObjectType] = []
-        for tau in types:
+        kinds_seen: set = set()
+        arrays = bag.spawn()
+        objects = bag.spawn()
+        for tau, count in bag.items():
             if isinstance(tau, PrimitiveType):
-                if tau.kind not in primitive_kinds:
+                if tau.kind not in kinds_seen:
+                    kinds_seen.add(tau.kind)
                     primitive_kinds.append(tau.kind)
             elif isinstance(tau, ArrayType):
-                arrays.append(tau)
+                arrays.add(tau, count)
             else:
-                objects.append(tau)
+                objects.add(tau, count)
         branches: List[Schema] = [
             PRIMITIVE_SCHEMAS[kind] for kind in primitive_kinds
         ]
@@ -213,32 +241,34 @@ class JxplainMerger:
         return union(*branches)
 
     def _merge_arrays(
-        self, arrays: List[ArrayType], path: Path, depth: int
+        self, arrays: TypeBag, path: Path, depth: int
     ) -> Schema:
         evidence = CollectionEvidence.with_depth(
             Kind.ARRAY, self.config.similarity_depth
         )
-        for tau in arrays:
-            evidence.add(tau)
+        for tau, count in arrays.items():
+            evidence.add(tau, count)
         if self.is_collection(Kind.ARRAY, evidence, path):
             return self._merge_array_collection(arrays, path, depth)
-        groups = self.partition_arrays(arrays, path)
+        groups = self.partition_arrays(arrays.distinct(), path)
         return union(
             *(
-                self._merge_array_entity(group, path, depth)
+                self._merge_array_entity(arrays.subset(group), path, depth)
                 for group in groups
             )
         )
 
     def _merge_array_collection(
-        self, arrays: List[ArrayType], path: Path, depth: int
+        self, arrays: TypeBag, path: Path, depth: int
     ) -> Schema:
         """Algorithm 2: a single-entity collection of the elements."""
-        values: List[JsonType] = []
+        values = arrays.spawn()
         max_length = 0
-        for tau in arrays:
-            values.extend(tau.elements)
-            max_length = max(max_length, len(tau))
+        for tau, count in arrays.items():
+            for value in tau.elements:
+                values.add(value, count)
+            if len(tau) > max_length:
+                max_length = len(tau)
         nested = (
             self._merge_at(values, path + (STAR,), depth + 1)
             if values
@@ -247,51 +277,53 @@ class JxplainMerger:
         return ArrayCollection(nested, max_length_seen=max_length)
 
     def _merge_array_entity(
-        self, arrays: Sequence[ArrayType], path: Path, depth: int
+        self, arrays: TypeBag, path: Path, depth: int
     ) -> Schema:
         """One array entity: a tuple with an optional suffix."""
-        min_length = min(len(tau) for tau in arrays)
-        max_length = max(len(tau) for tau in arrays)
+        lengths = [len(tau) for tau, _ in arrays.items()]
+        min_length = min(lengths)
+        max_length = max(lengths)
         elements: List[Schema] = []
         for position in range(max_length):
-            values = [
-                tau.elements[position]
-                for tau in arrays
-                if len(tau) > position
-            ]
+            values = arrays.spawn()
+            for tau, count in arrays.items():
+                if len(tau) > position:
+                    values.add(tau.elements[position], count)
             elements.append(
                 self._merge_at(values, path + (position,), depth + 1)
             )
         return ArrayTuple(elements, min_length)
 
     def _merge_objects(
-        self, objects: List[ObjectType], path: Path, depth: int
+        self, objects: TypeBag, path: Path, depth: int
     ) -> Schema:
         evidence = CollectionEvidence.with_depth(
             Kind.OBJECT, self.config.similarity_depth
         )
-        for tau in objects:
-            evidence.add(tau)
+        for tau, count in objects.items():
+            evidence.add(tau, count)
         if self.is_collection(Kind.OBJECT, evidence, path):
             return self._merge_object_collection(objects, path, depth)
-        groups = self.partition_objects(objects, path)
+        groups = self.partition_objects(
+            objects.distinct(), path, counts=objects.counts()
+        )
         return union(
             *(
-                self._merge_object_entity(group, path, depth)
+                self._merge_object_entity(objects.subset(group), path, depth)
                 for group in groups
             )
         )
 
     def _merge_object_collection(
-        self, objects: List[ObjectType], path: Path, depth: int
+        self, objects: TypeBag, path: Path, depth: int
     ) -> Schema:
         """Collection-like objects: one joint nested schema."""
-        values: List[JsonType] = []
+        values = objects.spawn()
         domain: set = set()
-        for tau in objects:
+        for tau, count in objects.items():
             for key, value in tau.items():
                 domain.add(key)
-                values.append(value)
+                values.add(value, count)
         nested = (
             self._merge_at(values, path + (STAR,), depth + 1)
             if values
@@ -300,15 +332,19 @@ class JxplainMerger:
         return ObjectCollection(nested, domain)
 
     def _merge_object_entity(
-        self, objects: Sequence[ObjectType], path: Path, depth: int
+        self, objects: TypeBag, path: Path, depth: int
     ) -> Schema:
         """Algorithm 3 for one entity: required ∩, optional ∪ − ∩."""
-        universal = set(objects[0].keys())
+        universal: Optional[set] = None
         groups: dict = {}
-        for tau in objects:
-            universal &= set(tau.keys())
+        for tau, count in objects.items():
+            keys = set(tau.keys())
+            universal = keys if universal is None else universal & keys
             for key, value in tau.items():
-                groups.setdefault(key, []).append(value)
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = objects.spawn()
+                group.add(value, count)
         required = {
             key: self._merge_at(values, path + (key,), depth + 1)
             for key, values in groups.items()

@@ -13,15 +13,26 @@ so it runs as an associative fold.  :func:`merge_k` is the batch form
 (Algorithm 1); :func:`merge_k_schemas` is the fold's combine operator
 over already-merged schemas, used by the dataflow engine and verified
 equivalent to the batch form by property tests.
+
+K-reduction is *multiplicity-invariant*: every statistic it computes
+(key intersections, key unions, maximum lengths) is a function of the
+set of distinct types, so :func:`merge_k` runs on a
+:class:`~repro.jsontypes.bag.TypeBag` and — with counted bags enabled,
+the default — its cost is proportional to distinct structure rather
+than corpus size.  The list-based helpers
+:func:`merge_object_tuple` / :func:`merge_array_coll` remain as the
+paper-literal Algorithms 2 and 3.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Set, Union as TUnion
 
 from repro.discovery.base import Discoverer, register_discoverer
+from repro.engine.instrument import counters
 from repro.errors import EmptyInputError, UnsupportedSchemaError
+from repro.jsontypes.bag import TypeBag, as_bag
 from repro.jsontypes.kinds import Kind
 from repro.jsontypes.types import ArrayType, JsonType, ObjectType, PrimitiveType
 from repro.schema.nodes import (
@@ -78,30 +89,82 @@ def merge_array_coll(merge, arrays: List[ArrayType]) -> Schema:
     return ArrayCollection(nested, max_length_seen=max_length)
 
 
-def merge_k(types: Iterable[JsonType]) -> Schema:
-    """Algorithm 1: the K-reduction of a bag of types."""
-    materialized = list(types)
-    if not materialized:
+def merge_k(types: TUnion[TypeBag, Iterable[JsonType]]) -> Schema:
+    """Algorithm 1: the K-reduction of a bag of types.
+
+    Accepts any iterable of types or an existing
+    :class:`~repro.jsontypes.bag.TypeBag`; with counted bags (the
+    default) each distinct type is traversed once regardless of its
+    multiplicity.
+    """
+    bag = as_bag(types)
+    if not bag:
         raise EmptyInputError("merge_k: no input types")
+    counters.add("kreduce.merge_total_types", bag.total)
+    counters.add("kreduce.merge_distinct_types", bag.distinct_count)
+    return _merge_k_bag(bag)
+
+
+def _merge_k_bag(bag: TypeBag) -> Schema:
     primitive_kinds: List[Kind] = []
-    arrays: List[ArrayType] = []
-    objects: List[ObjectType] = []
-    for tau in materialized:
+    kinds_seen: Set[Kind] = set()
+    arrays = bag.spawn()
+    objects = bag.spawn()
+    for tau, count in bag.items():
         if isinstance(tau, PrimitiveType):
-            if tau.kind not in primitive_kinds:
+            if tau.kind not in kinds_seen:
+                kinds_seen.add(tau.kind)
                 primitive_kinds.append(tau.kind)
         elif isinstance(tau, ArrayType):
-            arrays.append(tau)
+            arrays.add(tau, count)
         else:
-            objects.append(tau)
+            objects.add(tau, count)
     branches: List[Schema] = [
         PRIMITIVE_SCHEMAS[kind] for kind in primitive_kinds
     ]
     if arrays:
-        branches.append(merge_array_coll(merge_k, arrays))
+        branches.append(_merge_k_arrays(arrays))
     if objects:
-        branches.append(merge_object_tuple(merge_k, objects))
+        branches.append(_merge_k_objects(objects))
     return union(*branches)
+
+
+def _merge_k_arrays(arrays: TypeBag) -> Schema:
+    """Algorithm 2 over a bag: a single-entity collection."""
+    elements = arrays.spawn()
+    max_length = 0
+    for tau, count in arrays.items():
+        for value in tau.elements:
+            elements.add(value, count)
+        if len(tau) > max_length:
+            max_length = len(tau)
+    nested = _merge_k_bag(elements) if elements else NEVER
+    return ArrayCollection(nested, max_length_seen=max_length)
+
+
+def _merge_k_objects(objects: TypeBag) -> Schema:
+    """Algorithm 3 over a bag: one tuple entity, required = ∩ keys."""
+    universal = None
+    groups: Dict[str, TypeBag] = {}
+    for tau, count in objects.items():
+        keys = set(tau.keys())
+        universal = keys if universal is None else universal & keys
+        for key, value in tau.items():
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = objects.spawn()
+            group.add(value, count)
+    required = {
+        key: _merge_k_bag(values)
+        for key, values in groups.items()
+        if key in universal
+    }
+    optional = {
+        key: _merge_k_bag(values)
+        for key, values in groups.items()
+        if key not in universal
+    }
+    return ObjectTuple(required, optional)
 
 
 def merge_k_schemas(first: Schema, second: Schema) -> Schema:
@@ -119,11 +182,13 @@ def merge_k_schemas(first: Schema, second: Schema) -> Schema:
     branches_first = _k_branches(first)
     branches_second = _k_branches(second)
     primitives: List[Schema] = []
+    primitives_seen: Set[Schema] = set()
     arrays: List[ArrayCollection] = []
     objects: List[ObjectTuple] = []
     for branch in branches_first + branches_second:
         if isinstance(branch, PrimitiveSchema):
-            if branch not in primitives:
+            if branch not in primitives_seen:
+                primitives_seen.add(branch)
                 primitives.append(branch)
         elif isinstance(branch, ArrayCollection):
             arrays.append(branch)

@@ -205,11 +205,14 @@ class PipelineMerger(JxplainMerger):
         return designation is Designation.COLLECTION
 
     def partition_objects(
-        self, objects: Sequence[ObjectType], path: Path
+        self,
+        objects: Sequence[ObjectType],
+        path: Path,
+        counts: Optional[Sequence[int]] = None,
     ) -> List[List[ObjectType]]:
         partitioner = self._object_partitioners.get(path)
         if partitioner is None:
-            return super().partition_objects(objects, path)
+            return super().partition_objects(objects, path, counts=counts)
         features = [
             self._extractor.features(tau, path) for tau in objects
         ]
@@ -260,12 +263,18 @@ class JxplainPipeline(Discoverer):
         use_fold: bool = True,
         heuristic_sample: Optional[float] = None,
         sample_seed: int = 0,
+        executor=None,
     ):
         """``heuristic_sample`` enables §4.2's sampling mitigation:
         passes ① and ② run on a Bernoulli sample of that fraction,
         while pass ③ still synthesizes over the full data.  Paths that
         only occur outside the sample fall back to the
         data-independent defaults (objects tuple, arrays collection).
+
+        ``executor`` selects the engine backend (an
+        :class:`~repro.engine.Executor` or a spec string like
+        ``"threads:4"``) used when the pipeline builds its own dataset;
+        a :class:`LocalDataset` passed to :meth:`run` keeps its own.
         """
         self.config = config or JxplainConfig()
         self.config.validate()
@@ -275,6 +284,7 @@ class JxplainPipeline(Discoverer):
             raise ValueError("heuristic_sample must be in (0, 1]")
         self.heuristic_sample = heuristic_sample
         self.sample_seed = sample_seed
+        self.executor = executor
 
     # -- the three passes ------------------------------------------------------
 
@@ -287,7 +297,7 @@ class JxplainPipeline(Discoverer):
             dataset = data
         else:
             dataset = LocalDataset.from_records(
-                list(data), self.num_partitions
+                list(data), self.num_partitions, executor=self.executor
             )
         if dataset.is_empty():
             raise EmptyInputError("pipeline: no input records")
@@ -366,7 +376,7 @@ class JxplainPipeline(Discoverer):
 
     def merge_types(self, types: Iterable[JsonType]) -> Schema:
         return self.run(LocalDataset.from_records(
-            list(types), self.num_partitions
+            list(types), self.num_partitions, executor=self.executor
         )).schema
 
     def discover(self, values: Iterable[JsonValue]) -> Schema:

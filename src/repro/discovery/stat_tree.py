@@ -60,38 +60,43 @@ class StatTree:
     children: Dict[object, "StatTree"] = field(default_factory=dict)
     similarity_depth: Optional[int] = None
 
-    def add(self, tau: JsonType) -> None:
-        """Fold one type (and its whole subtree) into the statistics."""
+    def add(self, tau: JsonType, count: int = 1) -> None:
+        """Fold one type (and its whole subtree) into the statistics.
+
+        ``count`` folds ``count`` identical instances at once — the
+        weighted form used by the counted-bag fast path; equivalent to
+        ``count`` sequential ``add`` calls.
+        """
         if isinstance(tau, PrimitiveType):
-            self.primitive_kinds[tau.kind] += 1
+            self.primitive_kinds[tau.kind] += count
             return
         if isinstance(tau, ObjectType):
             if self.object_evidence is None:
                 self.object_evidence = CollectionEvidence.with_depth(
                     Kind.OBJECT, self.similarity_depth
                 )
-            self.object_evidence.add(tau)
+            self.object_evidence.add(tau, count)
             for key, value in tau.items():
                 child = self.children.get(key)
                 if child is None:
                     child = self.children[key] = StatTree(
                         similarity_depth=self.similarity_depth
                     )
-                child.add(value)
+                child.add(value, count)
             return
         if isinstance(tau, ArrayType):
             if self.array_evidence is None:
                 self.array_evidence = CollectionEvidence.with_depth(
                     Kind.ARRAY, self.similarity_depth
                 )
-            self.array_evidence.add(tau)
+            self.array_evidence.add(tau, count)
             for index, value in enumerate(tau.elements):
                 child = self.children.get(index)
                 if child is None:
                     child = self.children[index] = StatTree(
                         similarity_depth=self.similarity_depth
                     )
-                child.add(value)
+                child.add(value, count)
             return
         raise TypeError(f"not a JSON type: {tau!r}")
 
@@ -122,10 +127,17 @@ class StatTree:
         cls,
         types: Iterable[JsonType],
         similarity_depth: Optional[int] = None,
+        counts: Optional[Iterable[int]] = None,
     ) -> "StatTree":
+        """Build a tree from types, optionally weighted by ``counts``
+        (aligned multiplicities, as produced by a counted bag)."""
         tree = cls(similarity_depth=similarity_depth)
-        for tau in types:
-            tree.add(tau)
+        if counts is None:
+            for tau in types:
+                tree.add(tau)
+        else:
+            for tau, count in zip(types, counts):
+                tree.add(tau, count)
         return tree
 
     def _object_children(self) -> Dict[str, "StatTree"]:

@@ -1,11 +1,40 @@
 """Partitioned dataflow substrate and instrumentation (Spark stand-in)."""
 
 from repro.engine.dataset import DEFAULT_PARTITIONS, LocalDataset
-from repro.engine.instrument import StageTimer, deep_size_bytes
+from repro.engine.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_executor,
+    executor_names,
+    resolve_executor,
+    set_default_executor,
+)
+from repro.engine.instrument import (
+    Counters,
+    StageTimer,
+    counters,
+    deep_size_bytes,
+    perf_counters,
+    reset_perf_counters,
+)
 
 __all__ = [
+    "Counters",
     "DEFAULT_PARTITIONS",
+    "Executor",
     "LocalDataset",
+    "ProcessExecutor",
+    "SerialExecutor",
     "StageTimer",
+    "ThreadExecutor",
+    "counters",
     "deep_size_bytes",
+    "default_executor",
+    "executor_names",
+    "perf_counters",
+    "reset_perf_counters",
+    "resolve_executor",
+    "set_default_executor",
 ]

@@ -13,13 +13,24 @@ algorithms actually require from Spark is narrow:
 partitions.  Every full traversal increments ``scans``, so tests and
 benchmarks can assert pass counts (K-reduce: 1 pass; staged JXPLAIN:
 3 passes, per Figure 3).
+
+Per-partition work is dispatched through a pluggable
+:class:`~repro.engine.executor.Executor` (serial, thread pool, or
+process pool), which every derived dataset inherits.  Scan counting is
+executor-independent: the counter ticks once per traversal in the
+driver, never in workers, so pass counts stay exact under any backend.
+Partition lists are treated as immutable throughout — transformations
+build fresh lists and never mutate their input — which is what lets
+:meth:`union` share them and workers read them without copies.
 """
 
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
 
+from repro.engine.executor import Executor, resolve_executor
 from repro.errors import EngineError
 
 T = TypeVar("T")
@@ -29,6 +40,44 @@ U = TypeVar("U")
 DEFAULT_PARTITIONS = 4
 
 
+# -- per-partition task bodies ------------------------------------------------
+#
+# Module-level so the process backend can pickle them (the wrapped user
+# function still has to be picklable itself).
+
+def _map_task(fn, partition):
+    return [fn(item) for item in partition]
+
+
+def _filter_task(predicate, partition):
+    return [item for item in partition if predicate(item)]
+
+
+def _flat_map_task(fn, partition):
+    return [out for item in partition for out in fn(item)]
+
+
+def _map_partitions_task(fn, partition):
+    return fn(list(partition))
+
+
+def _sample_task(fraction, seed, indexed_partition):
+    index, partition = indexed_partition
+    # One RNG per (seed, partition): sampling is a pure function of the
+    # partition's identity, so the result is identical no matter which
+    # worker runs it, or in what order.  (Knuth-style mix; Random()
+    # itself only accepts scalar seeds.)
+    rng = random.Random(seed * 2654435761 + index)
+    return [item for item in partition if rng.random() < fraction]
+
+
+def _fold_task(zero, seq_op, partition):
+    acc = zero()
+    for item in partition:
+        acc = seq_op(acc, item)
+    return acc
+
+
 class LocalDataset(Generic[T]):
     """An immutable, partitioned, in-memory dataset."""
 
@@ -36,11 +85,13 @@ class LocalDataset(Generic[T]):
         self,
         partitions: List[List[T]],
         *,
+        executor: Optional[Executor] = None,
         _scan_counter: Optional[List[int]] = None,
     ):
         if not partitions:
             partitions = [[]]
         self._partitions = partitions
+        self._executor = resolve_executor(executor)
         # The scan counter is shared across derived datasets so that a
         # whole pipeline's pass count accumulates in one place.
         self._scan_counter = _scan_counter if _scan_counter is not None else [0]
@@ -49,7 +100,11 @@ class LocalDataset(Generic[T]):
 
     @classmethod
     def from_records(
-        cls, records: Iterable[T], num_partitions: int = DEFAULT_PARTITIONS
+        cls,
+        records: Iterable[T],
+        num_partitions: int = DEFAULT_PARTITIONS,
+        *,
+        executor: Optional[Executor] = None,
     ) -> "LocalDataset[T]":
         """Round-robin the records into ``num_partitions`` partitions."""
         if num_partitions <= 0:
@@ -57,13 +112,36 @@ class LocalDataset(Generic[T]):
         partitions: List[List[T]] = [[] for _ in range(num_partitions)]
         for index, record in enumerate(records):
             partitions[index % num_partitions].append(record)
-        return cls(partitions)
+        return cls(partitions, executor=executor)
+
+    def _derive(self, partitions: List[List[U]]) -> "LocalDataset[U]":
+        return LocalDataset(
+            partitions,
+            executor=self._executor,
+            _scan_counter=self._scan_counter,
+        )
+
+    def with_executor(self, executor) -> "LocalDataset[T]":
+        """The same dataset (partitions, scan counter) on a new backend.
+
+        ``executor`` may be an :class:`Executor` or a spec string such
+        as ``"threads:4"``.
+        """
+        return LocalDataset(
+            self._partitions,
+            executor=resolve_executor(executor),
+            _scan_counter=self._scan_counter,
+        )
 
     # -- introspection -------------------------------------------------------
 
     @property
     def num_partitions(self) -> int:
         return len(self._partitions)
+
+    @property
+    def executor(self) -> Executor:
+        return self._executor
 
     @property
     def scans(self) -> int:
@@ -95,65 +173,76 @@ class LocalDataset(Generic[T]):
 
     def map(self, fn: Callable[[T], U]) -> "LocalDataset[U]":
         self._note_scan()
-        return LocalDataset(
-            [[fn(item) for item in partition] for partition in self._partitions],
-            _scan_counter=self._scan_counter,
+        return self._derive(
+            self._executor.map_list(partial(_map_task, fn), self._partitions)
         )
 
     def filter(self, predicate: Callable[[T], bool]) -> "LocalDataset[T]":
         self._note_scan()
-        return LocalDataset(
-            [
-                [item for item in partition if predicate(item)]
-                for partition in self._partitions
-            ],
-            _scan_counter=self._scan_counter,
+        return self._derive(
+            self._executor.map_list(
+                partial(_filter_task, predicate), self._partitions
+            )
         )
 
     def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "LocalDataset[U]":
         self._note_scan()
-        return LocalDataset(
-            [
-                [out for item in partition for out in fn(item)]
-                for partition in self._partitions
-            ],
-            _scan_counter=self._scan_counter,
+        return self._derive(
+            self._executor.map_list(
+                partial(_flat_map_task, fn), self._partitions
+            )
         )
 
     def map_partitions(
         self, fn: Callable[[List[T]], List[U]]
     ) -> "LocalDataset[U]":
         self._note_scan()
-        return LocalDataset(
-            [fn(list(partition)) for partition in self._partitions],
-            _scan_counter=self._scan_counter,
+        return self._derive(
+            self._executor.map_list(
+                partial(_map_partitions_task, fn), self._partitions
+            )
         )
 
     def union(self, other: "LocalDataset[T]") -> "LocalDataset[T]":
-        return LocalDataset(
-            [list(p) for p in self._partitions]
-            + [list(p) for p in other._partitions],
-            _scan_counter=self._scan_counter,
-        )
+        # Partition lists are immutable by convention, so the union can
+        # share them instead of deep-copying every partition.
+        return self._derive(list(self._partitions) + list(other._partitions))
 
     def sample(self, fraction: float, seed: int = 0) -> "LocalDataset[T]":
-        """Uniform Bernoulli sample, deterministic under ``seed``."""
+        """Uniform Bernoulli sample, deterministic under ``seed``.
+
+        Each partition derives its own RNG from ``(seed, partition
+        index)``, so the sample is a pure function of the data layout —
+        independent of the order (or parallelism) in which partitions
+        are traversed.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise EngineError("fraction must be within [0, 1]")
         self._note_scan()
-        rng = random.Random(seed)
-        return LocalDataset(
-            [
-                [item for item in partition if rng.random() < fraction]
-                for partition in self._partitions
-            ],
-            _scan_counter=self._scan_counter,
+        return self._derive(
+            self._executor.map_list(
+                partial(_sample_task, fraction, seed),
+                list(enumerate(self._partitions)),
+            )
         )
 
     def repartition(self, num_partitions: int) -> "LocalDataset[T]":
-        return LocalDataset.from_records(self.collect(), num_partitions)
+        return LocalDataset.from_records(
+            self.collect(), num_partitions, executor=self._executor
+        )
 
     # -- aggregation -----------------------------------------------------------
+
+    def _partials(
+        self,
+        zero: Callable[[], U],
+        seq_op: Callable[[U, T], U],
+    ) -> List[U]:
+        """Fold every partition with ``seq_op``, fanned out over the
+        executor."""
+        return self._executor.map_list(
+            partial(_fold_task, zero, seq_op), self._partitions
+        )
 
     def aggregate(
         self,
@@ -166,15 +255,10 @@ class LocalDataset(Generic[T]):
         ``zero`` is a factory so mutable accumulators are safe.
         """
         self._note_scan()
-        partials: List[U] = []
-        for partition in self._partitions:
-            acc = zero()
-            for item in partition:
-                acc = seq_op(acc, item)
-            partials.append(acc)
+        partials = self._partials(zero, seq_op)
         result = zero()
-        for partial in partials:
-            result = comb_op(result, partial)
+        for partial_result in partials:
+            result = comb_op(result, partial_result)
         return result
 
     def tree_aggregate(
@@ -190,12 +274,7 @@ class LocalDataset(Generic[T]):
         than a left fold.
         """
         self._note_scan()
-        partials: List[U] = []
-        for partition in self._partitions:
-            acc = zero()
-            for item in partition:
-                acc = seq_op(acc, item)
-            partials.append(acc)
+        partials = self._partials(zero, seq_op)
         if not partials:
             return zero()
         while len(partials) > 1:

@@ -1,9 +1,15 @@
-"""Instrumentation: timers, pass counters, and memory estimation.
+"""Instrumentation: timers, pass counters, perf counters, and memory.
 
 Table 5 (runtime) and Figure 5 (memory) both need honest, repeatable
 measurement.  :class:`StageTimer` collects wall-clock per named stage;
 :func:`deep_size_bytes` estimates the resident size of nested Python
 structures (with cycle protection and shared-object deduplication).
+
+:class:`Counters` is the engine's lightweight event-counter registry
+(the module-level :data:`counters` singleton); :func:`perf_counters`
+additionally gathers the optimisation-layer statistics — type-intern
+hits, similarity-cache hits, counted-merge distinct ratios — that the
+``bench_perf_core`` benchmark reports into ``BENCH_PR1.json``.
 """
 
 from __future__ import annotations
@@ -13,6 +19,66 @@ import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Tuple
+
+
+class Counters:
+    """A mergeable bag of named numeric counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1) -> None:
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def set(self, name: str, value: float) -> None:
+        self._values[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._values.get(name, default)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(
+            f"{name}={value}" for name, value in sorted(self._values.items())
+        )
+        return f"<Counters {body}>"
+
+
+#: Process-wide engine counters (executor fallbacks, merge ratios, ...).
+counters = Counters()
+
+
+def perf_counters() -> Dict[str, float]:
+    """One flat snapshot of every performance counter in the system.
+
+    Combines the engine's :data:`counters` with the jsontypes layer's
+    interning and similarity-cache statistics (imported lazily to keep
+    this module dependency-free at import time).
+    """
+    snapshot = counters.snapshot()
+    from repro.jsontypes.similarity import similarity_cache_stats
+    from repro.jsontypes.types import intern_stats
+
+    for name, value in intern_stats().items():
+        snapshot[f"intern.{name}"] = value
+    for name, value in similarity_cache_stats().items():
+        snapshot[f"similarity.{name}"] = value
+    return snapshot
+
+
+def reset_perf_counters() -> None:
+    """Zero the engine counters and the jsontypes-layer caches' stats."""
+    counters.reset()
+    from repro.jsontypes.similarity import reset_similarity_cache_stats
+    from repro.jsontypes.types import reset_intern_stats
+
+    reset_intern_stats()
+    reset_similarity_cache_stats()
 
 
 class StageTimer:

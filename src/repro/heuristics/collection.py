@@ -115,20 +115,28 @@ class CollectionEvidence:
         evidence.similarity = SimilarityAccumulator(similarity_depth)
         return evidence
 
-    def add(self, tau: JsonType) -> None:
-        """Fold one object- or array-kinded type into the evidence."""
+    def add(self, tau: JsonType, count: int = 1) -> None:
+        """Fold one object- or array-kinded type into the evidence.
+
+        ``count`` folds ``count`` identical instances at once (the
+        counted-bag fast path): every statistic below is a function of
+        final counts, and re-adding a type already folded into the
+        similarity accumulator is a no-op there (its maximal type
+        already subsumes it), so this is exactly equivalent to calling
+        ``add`` ``count`` times.
+        """
         if tau.kind != self.kind:
             raise ValueError(
                 f"evidence tracks {self.kind}, got {tau.kind} type"
             )
-        self.record_count += 1
+        self.record_count += count
         if isinstance(tau, ObjectType):
             children = [child for _, child in tau.items()]
             for key, _ in tau.items():
-                self.key_counts[key] += 1
+                self.key_counts[key] += count
         elif isinstance(tau, ArrayType):
             children = list(tau.elements)
-            self.length_counts[len(children)] += 1
+            self.length_counts[len(children)] += count
         else:  # pragma: no cover - guarded by the kind check above
             raise ValueError(f"not a complex type: {tau!r}")
         kinds = {

@@ -1,0 +1,193 @@
+"""Counted bags of types: the mergers' distinct-type fast path.
+
+Both extractors consume *bags* of :class:`~repro.jsontypes.types.JsonType`
+— one type per record, with massive structural repetition on real
+corpora (a few dozen distinct record types for tens of thousands of
+records).  The seed implementation threads plain lists through every
+merge level, so merge cost is proportional to **corpus size**.
+
+:class:`CountedBag` replaces the list with an insertion-ordered
+``type → multiplicity`` map.  Every merge-level operation (evidence
+gathering, entity partitioning, per-key grouping) then touches each
+*distinct* type once and carries its count, so merge cost becomes
+proportional to **distinct structure**.  Interning
+(:func:`~repro.jsontypes.types.type_of`'s hash-consing) makes the bag
+cheap to build: equal types are identical objects, so the dict lookup
+is a pointer comparison.
+
+:class:`ListBag` is the compatibility representation: it preserves
+duplicates and yields each element with count 1, reproducing the
+seed's exact traversal order and cost.  Both representations satisfy
+the same small protocol, so the mergers have a single code path; which
+one :func:`as_bag` builds is controlled by :func:`set_counted_merge`
+(on by default).  The two are schema-equivalent: every statistic the
+heuristics consume (record counts, key membership counts, length
+distributions) is a function of final multiplicities, and duplicate
+types are no-ops for the similarity accumulator once their first
+occurrence is folded in.
+
+Distinct iteration order is the order of **first occurrence**, which
+matches the order in which a list traversal first meets each distinct
+type — this keeps every order-sensitive downstream (primitive branch
+order, cluster discovery order) byte-identical between
+representations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.jsontypes.types import JsonType
+
+#: One bag entry: a type and its multiplicity.
+BagItem = Tuple[JsonType, int]
+
+
+class TypeBag:
+    """Common protocol of :class:`CountedBag` and :class:`ListBag`."""
+
+    def add(self, tau: JsonType, count: int = 1) -> None:
+        raise NotImplementedError
+
+    def items(self) -> Iterator[BagItem]:
+        """Iterate ``(type, multiplicity)`` pairs."""
+        raise NotImplementedError
+
+    def distinct(self) -> List[JsonType]:
+        """The bag's support, in iteration order."""
+        return [tau for tau, _ in self.items()]
+
+    def counts(self) -> List[int]:
+        """Multiplicities aligned with :meth:`distinct`."""
+        return [count for _, count in self.items()]
+
+    @property
+    def total(self) -> int:
+        """Number of elements, counting multiplicity."""
+        raise NotImplementedError
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct entries (``total`` for a :class:`ListBag`)."""
+        raise NotImplementedError
+
+    def spawn(self) -> "TypeBag":
+        """An empty bag of the same representation."""
+        return type(self)()
+
+    def subset(self, members: Sequence[JsonType]) -> "TypeBag":
+        """A bag restricted to ``members`` (with their multiplicities)."""
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} total={self.total}"
+            f" distinct={self.distinct_count}>"
+        )
+
+
+class CountedBag(TypeBag):
+    """Insertion-ordered multiset: ``type → multiplicity``."""
+
+    __slots__ = ("_counts", "_total")
+
+    def __init__(self) -> None:
+        self._counts: Dict[JsonType, int] = {}
+        self._total = 0
+
+    @classmethod
+    def from_types(cls, types: Iterable[JsonType]) -> "CountedBag":
+        bag = cls()
+        counts = bag._counts
+        for tau in types:
+            counts[tau] = counts.get(tau, 0) + 1
+            bag._total += 1
+        return bag
+
+    def add(self, tau: JsonType, count: int = 1) -> None:
+        self._counts[tau] = self._counts.get(tau, 0) + count
+        self._total += count
+
+    def items(self) -> Iterator[BagItem]:
+        return iter(self._counts.items())
+
+    def distinct(self) -> List[JsonType]:
+        return list(self._counts)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._counts)
+
+    def subset(self, members: Sequence[JsonType]) -> "CountedBag":
+        bag = CountedBag()
+        for tau in members:
+            bag.add(tau, self._counts[tau])
+        return bag
+
+
+class ListBag(TypeBag):
+    """Duplicate-preserving bag: the seed's list semantics, verbatim."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Union[List[JsonType], None] = None) -> None:
+        self._items: List[JsonType] = items if items is not None else []
+
+    @classmethod
+    def from_types(cls, types: Iterable[JsonType]) -> "ListBag":
+        return cls(list(types))
+
+    def add(self, tau: JsonType, count: int = 1) -> None:
+        self._items.extend([tau] * count)
+
+    def items(self) -> Iterator[BagItem]:
+        return ((tau, 1) for tau in self._items)
+
+    def distinct(self) -> List[JsonType]:
+        return list(self._items)
+
+    def counts(self) -> List[int]:
+        return [1] * len(self._items)
+
+    @property
+    def total(self) -> int:
+        return len(self._items)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._items)
+
+    def subset(self, members: Sequence[JsonType]) -> "ListBag":
+        return ListBag(list(members))
+
+
+_COUNTED_ENABLED = True
+
+
+def set_counted_merge(enabled: bool) -> bool:
+    """Select the representation :func:`as_bag` builds; returns the old
+    setting.  ``False`` restores the seed's duplicate-preserving lists."""
+    global _COUNTED_ENABLED
+    previous = _COUNTED_ENABLED
+    _COUNTED_ENABLED = bool(enabled)
+    return previous
+
+
+def counted_merge_enabled() -> bool:
+    return _COUNTED_ENABLED
+
+
+def as_bag(types: Union[TypeBag, Iterable[JsonType]]) -> TypeBag:
+    """Coerce an iterable of types (or an existing bag) to a bag."""
+    if isinstance(types, TypeBag):
+        return types
+    if _COUNTED_ENABLED:
+        return CountedBag.from_types(types)
+    return ListBag.from_types(types)

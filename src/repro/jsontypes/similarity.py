@@ -19,7 +19,8 @@ a single fold over the data.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from functools import lru_cache
+from typing import Dict, Iterable, Optional
 
 from repro.jsontypes.types import (
     ArrayType,
@@ -28,6 +29,40 @@ from repro.jsontypes.types import (
     ObjectType,
     PrimitiveType,
 )
+
+#: Entries kept by each of the two memo caches.  Types hash in O(1)
+#: (hashes are precomputed at construction), and with interning on the
+#: key comparison is a pointer check, so lookups are effectively free.
+SIMILARITY_CACHE_SIZE = 1 << 16
+
+_CACHE_ENABLED = True
+
+
+def set_similarity_cache(enabled: bool) -> bool:
+    """Enable/disable the similarity memo caches; returns the old
+    setting.  Used by benchmarks to measure the uncached baseline."""
+    global _CACHE_ENABLED
+    previous = _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def similarity_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the ``similar`` / ``union_types`` caches."""
+    similar_info = _similar_cached.cache_info()
+    union_info = _union_cached.cache_info()
+    return {
+        "similar_hits": similar_info.hits,
+        "similar_misses": similar_info.misses,
+        "union_hits": union_info.hits,
+        "union_misses": union_info.misses,
+    }
+
+
+def reset_similarity_cache_stats() -> None:
+    """Clear both memo caches (and thereby their hit/miss counters)."""
+    _similar_cached.cache_clear()
+    _union_cached.cache_clear()
 
 
 def similar(
@@ -42,7 +77,21 @@ def similar(
     ``datavalue.value`` is a string or an object depending on the
     property's datatype), where the literal rule rules out every
     enclosing collection.
+
+    Results are memoized (including every recursive sub-pair), so
+    re-checking the handful of distinct types a real corpus repeats is
+    a cache hit rather than a structural walk.
     """
+    if first is second:
+        return True
+    if _CACHE_ENABLED:
+        return _similar_cached(first, second, max_depth)
+    return _similar_impl(first, second, max_depth)
+
+
+def _similar_impl(
+    first: JsonType, second: JsonType, max_depth: Optional[int]
+) -> bool:
     if max_depth is not None and max_depth <= 0:
         return True
     next_depth = None if max_depth is None else max_depth - 1
@@ -66,6 +115,9 @@ def similar(
     return False
 
 
+_similar_cached = lru_cache(maxsize=SIMILARITY_CACHE_SIZE)(_similar_impl)
+
+
 def union_types(
     first: JsonType, second: JsonType, max_depth: Optional[int] = None
 ) -> JsonType:
@@ -79,8 +131,19 @@ def union_types(
     than the bound keep the first side as the representative.
 
     Raises ``ValueError`` when the inputs are dissimilar (within the
-    bound), since no maximal type exists in that case.
+    bound), since no maximal type exists in that case.  Results are
+    memoized alongside :func:`similar`'s.
     """
+    if first is second:
+        return first
+    if _CACHE_ENABLED:
+        return _union_cached(first, second, max_depth)
+    return _union_impl(first, second, max_depth)
+
+
+def _union_impl(
+    first: JsonType, second: JsonType, max_depth: Optional[int]
+) -> JsonType:
     if max_depth is not None and max_depth <= 0:
         return first
     next_depth = None if max_depth is None else max_depth - 1
@@ -110,6 +173,9 @@ def union_types(
         ]
         return ArrayType(elements)
     raise ValueError(f"cannot union dissimilar types {first!r} and {second!r}")
+
+
+_union_cached = lru_cache(maxsize=SIMILARITY_CACHE_SIZE)(_union_impl)
 
 
 def all_pairwise_similar(types: Iterable[JsonType]) -> bool:

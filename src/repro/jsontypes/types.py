@@ -8,12 +8,19 @@ immutable and hashable, so bags of types can be stored in
 the L-reduction ("naive discovery") a one-liner.
 
 The module also provides :func:`type_of`, which extracts the type of a
-parsed JSON value (the output of ``json.loads``).
+parsed JSON value (the output of ``json.loads``), and a hash-consing
+intern table: with interning enabled (the default), structurally equal
+complex types built by :func:`type_of` / :func:`intern_type` are the
+*same object*.  Interning is a pure optimisation — equality semantics
+are unchanged — but it collapses equality checks and dict lookups over
+types to pointer comparisons, which is what makes the counted-bag
+merge fast path (:mod:`repro.jsontypes.bag`) cheap on corpora with
+heavy structural repetition.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence, Union
+from typing import Dict, Iterator, Mapping, Sequence, Union
 
 from repro.errors import InvalidJsonValueError, RecursionDepthError
 from repro.jsontypes.kinds import Kind
@@ -103,6 +110,11 @@ class PrimitiveType(JsonType):
     def __hash__(self) -> int:
         return hash(self.kind)
 
+    def __reduce__(self):
+        # Unpickling re-enters __new__, which re-interns: primitive
+        # singletons survive a round trip to a worker process.
+        return (PrimitiveType, (self.kind,))
+
     def __repr__(self) -> str:
         return self.kind.value
 
@@ -183,10 +195,15 @@ class ObjectType(JsonType):
         return any(name == key for name, _ in self.fields)
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, ObjectType) and self.fields == other.fields
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (ObjectType, (dict(self.fields),))
 
     def __repr__(self) -> str:
         body = ", ".join(f"{key}: {value!r}" for key, value in self.fields)
@@ -229,10 +246,15 @@ class ArrayType(JsonType):
         return len(self.elements)
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, ArrayType) and self.elements == other.elements
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (ArrayType, (self.elements,))
 
     def __repr__(self) -> str:
         return "[" + ", ".join(repr(value) for value in self.elements) + "]"
@@ -243,12 +265,96 @@ EMPTY_OBJECT = ObjectType({})
 EMPTY_ARRAY = ArrayType(())
 
 
+# -- hash-consing -------------------------------------------------------------
+
+_INTERN_ENABLED = True
+_INTERN_TABLE: Dict[JsonType, JsonType] = {}
+_INTERN_HITS = 0
+_INTERN_MISSES = 0
+
+
+def set_interning(enabled: bool) -> bool:
+    """Enable/disable hash-consing of complex types; returns the old
+    setting.  Disabling does not clear the table, so re-enabling keeps
+    previously interned nodes."""
+    global _INTERN_ENABLED
+    previous = _INTERN_ENABLED
+    _INTERN_ENABLED = bool(enabled)
+    return previous
+
+
+def interning_enabled() -> bool:
+    return _INTERN_ENABLED
+
+
+def clear_intern_table() -> None:
+    """Drop every interned node (frees memory between corpora)."""
+    _INTERN_TABLE.clear()
+
+
+def intern_stats() -> Dict[str, int]:
+    """``hits`` / ``misses`` / ``size`` of the intern table."""
+    return {
+        "hits": _INTERN_HITS,
+        "misses": _INTERN_MISSES,
+        "size": len(_INTERN_TABLE),
+    }
+
+
+def reset_intern_stats() -> None:
+    global _INTERN_HITS, _INTERN_MISSES
+    _INTERN_HITS = 0
+    _INTERN_MISSES = 0
+
+
+def _intern(tau: JsonType) -> JsonType:
+    """Return the canonical instance structurally equal to ``tau``."""
+    global _INTERN_HITS, _INTERN_MISSES
+    cached = _INTERN_TABLE.get(tau)
+    if cached is not None:
+        _INTERN_HITS += 1
+        return cached
+    _INTERN_MISSES += 1
+    _INTERN_TABLE[tau] = tau
+    return tau
+
+
+def intern_type(tau: JsonType) -> JsonType:
+    """Recursively hash-cons a type: equal types become identical.
+
+    Primitives are already singletons; complex nodes are rebuilt
+    bottom-up over interned children, so interned trees share all
+    repeated substructure.  A no-op when interning is disabled.
+    """
+    if not _INTERN_ENABLED or isinstance(tau, PrimitiveType):
+        return tau
+    cached = _INTERN_TABLE.get(tau)
+    if cached is not None:
+        global _INTERN_HITS
+        _INTERN_HITS += 1
+        return cached
+    if isinstance(tau, ArrayType):
+        rebuilt = ArrayType(
+            tuple(intern_type(item) for item in tau.elements)
+        )
+    elif isinstance(tau, ObjectType):
+        rebuilt = ObjectType(
+            {key: intern_type(value) for key, value in tau.fields}
+        )
+    else:
+        raise InvalidJsonValueError(f"not a JSON type: {tau!r}")
+    return _intern(rebuilt)
+
+
 def type_of(value: JsonValue, *, max_depth: int = MAX_DEPTH) -> JsonType:
     """Extract the :class:`JsonType` of a parsed JSON value.
 
     ``value`` must be a value in the JSON data model as produced by
     ``json.loads``: ``None``, ``bool``, ``int``/``float``, ``str``,
     ``list``, or ``dict`` with string keys.
+
+    With interning enabled (the default), ``type_of(v1) is
+    type_of(v2)`` whenever the extracted types are equal.
 
     Raises :class:`~repro.errors.InvalidJsonValueError` for anything
     else and :class:`~repro.errors.RecursionDepthError` when nesting
@@ -266,16 +372,18 @@ def type_of(value: JsonValue, *, max_depth: int = MAX_DEPTH) -> JsonType:
     if isinstance(value, str):
         return STRING
     if isinstance(value, list):
-        return ArrayType(
+        built = ArrayType(
             tuple(type_of(item, max_depth=max_depth - 1) for item in value)
         )
+        return _intern(built) if _INTERN_ENABLED else built
     if isinstance(value, dict):
-        return ObjectType(
+        built = ObjectType(
             {
                 key: type_of(item, max_depth=max_depth - 1)
                 for key, item in value.items()
             }
         )
+        return _intern(built) if _INTERN_ENABLED else built
     raise InvalidJsonValueError(
         f"not a JSON value: {value!r} (type {type(value).__name__})"
     )

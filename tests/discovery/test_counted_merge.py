@@ -1,0 +1,123 @@
+"""Counted-bag merge fast path ≡ the duplicate-preserving list path.
+
+The acceptance bar for the fast path is *schema identity*: with counted
+bags (and interning) on, every discoverer must produce a schema equal
+to the seed behaviour on every synthetic dataset.  K-reduce is
+multiplicity-invariant outright; JXPLAIN's heuristics consume weighted
+evidence whose statistics are pure functions of the final counts, so
+the counted path is exact there too — these tests enforce that claim
+end-to-end on all twelve sweep datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.discovery import Jxplain, JxplainPipeline, KReduce
+from repro.engine.instrument import counters
+from repro.jsontypes import (
+    clear_intern_table,
+    set_counted_merge,
+    set_interning,
+    type_of,
+)
+from repro.jsontypes.similarity import set_similarity_cache
+
+#: The twelve datasets of the Table 1/2 sweep (wikidata is the
+#: separate Section 6 case study).
+SWEEP_DATASETS = [
+    "nyt",
+    "synapse",
+    "twitter",
+    "github",
+    "pharma",
+    "yelp-merged",
+    "yelp-business",
+    "yelp-checkin",
+    "yelp-photos",
+    "yelp-review",
+    "yelp-tip",
+    "yelp-user",
+]
+
+
+@pytest.fixture
+def baseline_mode():
+    """Seed behaviour: list bags, no interning, no similarity cache."""
+    old_bag = set_counted_merge(False)
+    old_intern = set_interning(False)
+    old_cache = set_similarity_cache(False)
+    try:
+        yield
+    finally:
+        set_counted_merge(old_bag)
+        set_interning(old_intern)
+        set_similarity_cache(old_cache)
+
+
+def _schemas(records):
+    return (
+        KReduce().discover(records),
+        Jxplain().discover(records),
+        JxplainPipeline().run(records).schema,
+    )
+
+
+@pytest.mark.parametrize("name", SWEEP_DATASETS)
+def test_counted_path_matches_list_path(name, baseline_mode):
+    records = make_dataset(name).generate(150, seed=11)
+    baseline = _schemas(records)
+
+    set_counted_merge(True)
+    set_interning(True)
+    set_similarity_cache(True)
+    clear_intern_table()
+    optimized = _schemas(records)
+
+    assert optimized[0] == baseline[0], "k-reduce diverged"
+    assert optimized[1] == baseline[1], "jxplain merger diverged"
+    assert optimized[2] == baseline[2], "jxplain pipeline diverged"
+
+
+def test_counted_merge_counters_report_dedup():
+    counters.reset()
+    records = make_dataset("github").generate(300, seed=5)
+    KReduce().discover(records)
+    total = counters.get("kreduce.merge_total_types")
+    distinct = counters.get("kreduce.merge_distinct_types")
+    assert total >= 300
+    assert 0 < distinct < total
+
+    Jxplain().discover(records)
+    assert counters.get("jxplain.merge_total_types") >= 300
+    assert (
+        counters.get("jxplain.merge_distinct_types")
+        < counters.get("jxplain.merge_total_types")
+    )
+
+
+def test_merge_k_accepts_bag_and_iterable():
+    from repro.discovery.kreduce import merge_k
+    from repro.jsontypes import CountedBag
+
+    values = [1, "x", 1, {"a": 2}]
+    types = [type_of(v) for v in values]
+    assert merge_k(types) == merge_k(CountedBag.from_types(types))
+    assert merge_k(iter(types)) == merge_k(types)
+
+
+def test_duplicate_heavy_corpus_identical_by_construction(baseline_mode):
+    # A corpus that is 99% one shape: the counted path sees 4 distinct
+    # types where the list path sees 400.
+    records = [{"id": 7, "tags": ["a", "b"]}] * 396 + [
+        {"id": 1},
+        {"id": "s"},
+        [1, 2],
+        "plain",
+    ]
+    baseline = _schemas(records)
+    set_counted_merge(True)
+    set_interning(True)
+    optimized = _schemas(records)
+    assert optimized == baseline

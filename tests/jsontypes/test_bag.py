@@ -1,0 +1,99 @@
+"""The :class:`TypeBag` representations behind the merge fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jsontypes import (
+    CountedBag,
+    ListBag,
+    as_bag,
+    counted_merge_enabled,
+    set_counted_merge,
+    type_of,
+)
+
+
+@pytest.fixture
+def list_bags():
+    old = set_counted_merge(False)
+    try:
+        yield
+    finally:
+        set_counted_merge(old)
+
+
+TYPES = [type_of(v) for v in (1, "a", 1, {"k": 1}, 1, {"k": 2}, "a")]
+
+
+class TestCountedBag:
+    def test_counts_and_first_occurrence_order(self):
+        bag = CountedBag.from_types(TYPES)
+        assert bag.total == 7
+        assert bag.distinct_count == 3
+        assert list(bag.distinct()) == [
+            type_of(1), type_of("a"), type_of({"k": 1})
+        ]
+        assert list(bag.counts()) == [3, 2, 2]
+        assert dict(bag.items()) == {
+            type_of(1): 3, type_of("a"): 2, type_of({"k": 1}): 2
+        }
+
+    def test_add_with_multiplicity(self):
+        bag = CountedBag()
+        bag.add(type_of(1), 5)
+        bag.add(type_of(1))
+        assert bag.total == 6
+        assert bag.distinct_count == 1
+
+    def test_spawn_and_subset(self):
+        bag = CountedBag.from_types(TYPES)
+        child = bag.spawn()
+        assert isinstance(child, CountedBag)
+        assert not child and child.total == 0
+        sub = bag.subset([type_of(1), type_of("a")])
+        assert sub.total == 5
+        assert list(sub.counts()) == [3, 2]
+
+    def test_truthiness(self):
+        assert not CountedBag()
+        assert CountedBag.from_types([type_of(1)])
+
+
+class TestListBag:
+    def test_preserves_duplicates(self):
+        bag = ListBag.from_types(TYPES)
+        assert bag.total == 7
+        assert bag.distinct_count == 7
+        assert list(bag.distinct()) == TYPES
+        assert list(bag.counts()) == [1] * 7
+        assert [count for _, count in bag.items()] == [1] * 7
+
+    def test_subset_and_spawn(self):
+        bag = ListBag.from_types(TYPES)
+        sub = bag.subset([type_of("a"), type_of("a")])
+        assert sub.total == 2
+        assert isinstance(sub, ListBag)
+        assert isinstance(bag.spawn(), ListBag)
+
+
+class TestDispatch:
+    def test_default_is_counted(self):
+        assert counted_merge_enabled()
+        assert isinstance(as_bag(TYPES), CountedBag)
+
+    def test_flag_switches_representation(self, list_bags):
+        assert not counted_merge_enabled()
+        assert isinstance(as_bag(TYPES), ListBag)
+
+    def test_existing_bag_passes_through(self):
+        bag = ListBag.from_types(TYPES)
+        assert as_bag(bag) is bag
+        counted = CountedBag.from_types(TYPES)
+        assert as_bag(counted) is counted
+
+    def test_set_counted_merge_returns_previous(self):
+        old = set_counted_merge(False)
+        assert old is True
+        assert set_counted_merge(old) is False
+        assert counted_merge_enabled()

@@ -1,0 +1,116 @@
+"""Hash-consing of :class:`JsonType` nodes.
+
+With interning on (the default), structurally equal types built by
+``type_of`` are *identical* objects — equality degrades to a pointer
+comparison and dict/bag lookups hash each shape once.  These tests pin
+the identity guarantee, substructure sharing, the enable toggle, and
+pickling (which must survive the immutability guard).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+
+from repro.jsontypes import (
+    ArrayType,
+    ObjectType,
+    clear_intern_table,
+    intern_stats,
+    intern_type,
+    interning_enabled,
+    set_interning,
+    type_of,
+)
+from repro.jsontypes.types import reset_intern_stats
+from tests.conftest import json_values
+
+
+@pytest.fixture
+def interning_off():
+    old = set_interning(False)
+    try:
+        yield
+    finally:
+        set_interning(old)
+
+
+class TestIdentity:
+    def test_equal_values_intern_to_same_object(self):
+        value = {"a": [1, 2, {"b": "x"}], "c": None}
+        assert type_of(value) is type_of(dict(value))
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=json_values())
+    def test_identity_for_arbitrary_values(self, value):
+        assert type_of(value) is type_of(value)
+
+    def test_nested_substructure_is_shared(self):
+        first = dict(type_of({"user": {"id": 1}, "owner": {"id": 2}}).items())
+        assert first["user"] is first["owner"]
+        second = type_of([{"id": 7}])
+        assert second.elements[0] is first["user"]
+
+    def test_primitives_are_singletons_regardless(self, interning_off):
+        # Primitive kinds were already canonical before interning.
+        assert type_of(1) is type_of(2.5)
+        assert type_of("a") is type_of("b")
+
+    def test_intern_type_is_idempotent(self):
+        tau = intern_type(ObjectType({"k": ArrayType((type_of(1),))}))
+        assert intern_type(tau) is tau
+        assert tau is type_of({"k": [0]})
+
+
+class TestToggle:
+    def test_disabled_builds_fresh_equal_nodes(self, interning_off):
+        assert not interning_enabled()
+        first = type_of({"a": [1]})
+        second = type_of({"a": [1]})
+        assert first == second
+        assert first is not second
+
+    def test_reenabling_restores_identity(self, interning_off):
+        set_interning(True)
+        assert type_of({"z": 1}) is type_of({"z": 1})
+        set_interning(False)
+
+    def test_stats_move_with_usage(self):
+        clear_intern_table()
+        reset_intern_stats()
+        type_of({"fresh-stats-key": [1, "x"]})
+        misses_after_first = intern_stats()["misses"]
+        assert misses_after_first >= 1
+        type_of({"fresh-stats-key": [2, "y"]})
+        stats = intern_stats()
+        assert stats["hits"] >= 1
+        assert stats["size"] >= 1
+
+
+class TestPickling:
+    @pytest.mark.parametrize(
+        "value",
+        [1, "s", None, True, [1, [2]], {"a": {"b": [None]}}, [], {}],
+    )
+    def test_round_trip_preserves_equality(self, value):
+        tau = type_of(value)
+        clone = pickle.loads(pickle.dumps(tau))
+        assert clone == tau
+        assert hash(clone) == hash(tau)
+
+    def test_primitive_round_trip_preserves_identity(self):
+        tau = type_of("text")
+        assert pickle.loads(pickle.dumps(tau)) is tau
+
+    def test_unpickled_complex_reinterns_to_identity(self):
+        tau = type_of({"a": [1]})
+        clone = pickle.loads(pickle.dumps(tau))
+        assert intern_type(clone) is tau
+
+    def test_equality_identity_fast_path(self):
+        tau = type_of({"deep": [[{"x": 1}]]})
+        assert tau == tau
+        assert not (tau != tau)
+        assert tau != type_of("a string")
