@@ -81,6 +81,10 @@ class JxplainConfig:
     kmeans_k: Optional[int] = None
     #: Seed for the KMEANS strategy (the only stochastic component).
     kmeans_seed: int = 0
+    #: Weight k-means seeding/centroids by record multiplicity when the
+    #: caller supplies counts (False preserves the paper's distinct-set
+    #: clustering).
+    kmeans_weighted: bool = False
     #: Hard bound on schema/recursion depth.
     max_depth: int = 128
 

@@ -31,13 +31,19 @@ add a path step — all entities at a path share it.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Sequence, Union as TUnion
 
 from repro.discovery.base import Discoverer, register_discoverer
 from repro.discovery.config import EntityStrategy, FeatureMode, JxplainConfig
+from repro.engine.executor import resolve_executor
 from repro.engine.instrument import counters
 from repro.jsontypes.bag import TypeBag, as_bag
-from repro.entities.bimax import EntityCluster, bimax_naive
+from repro.entities.bimax import (
+    EntityCluster,
+    bimax_naive,
+    distinct_key_sets,
+)
 from repro.entities.greedy_merge import merge_to_fixpoint, greedy_merge
 from repro.entities.kmeans import kmeans_clusters
 from repro.entities.partitioner import EntityPartitioner
@@ -63,26 +69,41 @@ from repro.schema.nodes import (
 
 
 def cluster_key_sets(
-    key_sets: Sequence[frozenset], config: JxplainConfig
+    key_sets: Sequence[frozenset],
+    config: JxplainConfig,
+    counts: Optional[Sequence[int]] = None,
 ) -> List[EntityCluster]:
-    """Apply the configured entity strategy to a bag of key-sets."""
-    distinct: List[frozenset] = []
-    seen = set()
-    for key_set in key_sets:
-        frozen = frozenset(key_set)
-        if frozen not in seen:
-            seen.add(frozen)
-            distinct.append(frozen)
+    """Apply the configured entity strategy to a bag of key-sets.
+
+    ``counts`` (aligned with ``key_sets``) carries record
+    multiplicities from a counted bag; duplicates accumulate their
+    weights during dedup and the resulting clusters expose them as
+    ``member_counts``, so downstream weighting (partitioner weights,
+    weighted k-means seeding) sees record frequencies rather than
+    distinct-shape counts.
+    """
+    distinct, weights = distinct_key_sets(key_sets, counts)
+    keep_counts = counts is not None
     strategy = config.entity_strategy
     if strategy is EntityStrategy.SINGLE:
         universe = frozenset().union(*distinct) if distinct else frozenset()
-        return [EntityCluster(maximal=universe, members=list(distinct))]
+        return [
+            EntityCluster(
+                maximal=universe,
+                members=list(distinct),
+                member_counts=list(weights) if keep_counts else None,
+            )
+        ]
     if strategy is EntityStrategy.EXACT:
         return [
-            EntityCluster(maximal=key_set, members=[key_set])
-            for key_set in distinct
+            EntityCluster(
+                maximal=key_set,
+                members=[key_set],
+                member_counts=[weight] if keep_counts else None,
+            )
+            for key_set, weight in zip(distinct, weights)
         ]
-    naive = bimax_naive(distinct)
+    naive = bimax_naive(distinct, counts=weights if keep_counts else None)
     if strategy is EntityStrategy.BIMAX_NAIVE:
         return naive
     if strategy is EntityStrategy.BIMAX_MERGE:
@@ -90,18 +111,36 @@ def cluster_key_sets(
     if strategy is EntityStrategy.KMEANS:
         k = config.kmeans_k if config.kmeans_k is not None else len(naive)
         k = min(k, len(distinct))
-        groups = kmeans_clusters(distinct, k, seed=config.kmeans_seed)
+        kmeans_weights = (
+            weights if (keep_counts and config.kmeans_weighted) else None
+        )
+        groups = kmeans_clusters(
+            distinct, k, seed=config.kmeans_seed, weights=kmeans_weights
+        )
+        weight_of = dict(zip(distinct, weights))
         clusters = []
         for group in groups:
             if not group:
                 continue
             clusters.append(
                 EntityCluster(
-                    maximal=frozenset().union(*group), members=list(group)
+                    maximal=frozenset().union(*group),
+                    members=list(group),
+                    member_counts=(
+                        [weight_of[member] for member in group]
+                        if keep_counts
+                        else None
+                    ),
                 )
             )
         return clusters
     raise ValueError(f"unknown entity strategy {strategy!r}")
+
+
+#: Guards against nested executor fan-out: a worker already running an
+#: entity merge keeps its own subtree serial (re-submitting to the same
+#: thread pool from inside a worker can deadlock it).
+_entity_dispatch = threading.local()
 
 
 class JxplainMerger:
@@ -111,11 +150,45 @@ class JxplainMerger:
     :meth:`partition_arrays` hooks may be overridden (the staged
     pipeline precomputes their answers per path); the defaults compute
     them from the local bag, exactly as the simplified algorithm does.
+
+    ``executor`` (an :class:`~repro.engine.executor.Executor` or a spec
+    string like ``"threads:4"``) fans the per-entity merges at a
+    tuple-typed path out across workers: after partitioning, each
+    entity's sub-bag merges independently, so the only coordination is
+    the final ``union`` in emission order.  Results are identical to
+    serial execution; ``None`` keeps the seed's in-driver recursion.
     """
 
-    def __init__(self, config: Optional[JxplainConfig] = None):
+    def __init__(
+        self,
+        config: Optional[JxplainConfig] = None,
+        executor=None,
+    ):
         self.config = config or JxplainConfig()
         self.config.validate()
+        self._executor = (
+            resolve_executor(executor) if executor is not None else None
+        )
+
+    def _map_entity_merges(self, fn, bags: List[TypeBag]) -> List[Schema]:
+        """Map ``fn`` over per-entity bags, fanning out when allowed."""
+        executor = self._executor
+        if (
+            executor is None
+            or len(bags) <= 1
+            or getattr(_entity_dispatch, "active", False)
+        ):
+            return [fn(bag) for bag in bags]
+        counters.add("jxplain.entity_fanouts")
+
+        def run(bag: TypeBag) -> Schema:
+            _entity_dispatch.active = True
+            try:
+                return fn(bag)
+            finally:
+                _entity_dispatch.active = False
+
+        return executor.map_list(run, bags)
 
     # -- heuristic hooks ---------------------------------------------------
 
@@ -182,18 +255,21 @@ class JxplainMerger:
     ) -> List[List[ObjectType]]:
         """Split tuple-like objects into entities via feature clusters."""
         features = self.object_features(objects, path, counts=counts)
-        clusters = cluster_key_sets(features, self.config)
+        clusters = cluster_key_sets(features, self.config, counts=counts)
         partitioner = EntityPartitioner(clusters)
         return partitioner.non_empty_groups(list(objects), features)
 
     def partition_arrays(
-        self, arrays: Sequence[ArrayType], path: Path
+        self,
+        arrays: Sequence[ArrayType],
+        path: Path,
+        counts: Optional[Sequence[int]] = None,
     ) -> List[List[ArrayType]]:
         """Split tuple-like arrays into entities via position-sets."""
         key_sets = [
             frozenset(str(i) for i in range(len(tau))) for tau in arrays
         ]
-        clusters = cluster_key_sets(key_sets, self.config)
+        clusters = cluster_key_sets(key_sets, self.config, counts=counts)
         partitioner = EntityPartitioner(clusters)
         return partitioner.non_empty_groups(list(arrays), key_sets)
 
@@ -250,13 +326,14 @@ class JxplainMerger:
             evidence.add(tau, count)
         if self.is_collection(Kind.ARRAY, evidence, path):
             return self._merge_array_collection(arrays, path, depth)
-        groups = self.partition_arrays(arrays.distinct(), path)
-        return union(
-            *(
-                self._merge_array_entity(arrays.subset(group), path, depth)
-                for group in groups
-            )
+        groups = self.partition_arrays(
+            arrays.distinct(), path, counts=arrays.counts()
         )
+        branches = self._map_entity_merges(
+            lambda bag: self._merge_array_entity(bag, path, depth),
+            [arrays.subset(group) for group in groups],
+        )
+        return union(*branches)
 
     def _merge_array_collection(
         self, arrays: TypeBag, path: Path, depth: int
@@ -307,12 +384,11 @@ class JxplainMerger:
         groups = self.partition_objects(
             objects.distinct(), path, counts=objects.counts()
         )
-        return union(
-            *(
-                self._merge_object_entity(objects.subset(group), path, depth)
-                for group in groups
-            )
+        branches = self._map_entity_merges(
+            lambda bag: self._merge_object_entity(bag, path, depth),
+            [objects.subset(group) for group in groups],
         )
+        return union(*branches)
 
     def _merge_object_collection(
         self, objects: TypeBag, path: Path, depth: int
@@ -359,10 +435,13 @@ class JxplainMerger:
 
 
 def jxplain_merge(
-    types: Iterable[JsonType], config: Optional[JxplainConfig] = None
+    types: Iterable[JsonType],
+    config: Optional[JxplainConfig] = None,
+    *,
+    executor=None,
 ) -> Schema:
     """Algorithm 4: JXPLAIN's merge with the given configuration."""
-    return JxplainMerger(config).merge(types)
+    return JxplainMerger(config, executor=executor).merge(types)
 
 
 class Jxplain(Discoverer):
@@ -370,11 +449,17 @@ class Jxplain(Discoverer):
 
     name = "bimax-merge"
 
-    def __init__(self, config: Optional[JxplainConfig] = None):
+    def __init__(
+        self,
+        config: Optional[JxplainConfig] = None,
+        *,
+        executor=None,
+    ):
         self.config = config or JxplainConfig()
+        self.executor = executor
 
     def merge_types(self, types: Iterable[JsonType]) -> Schema:
-        return jxplain_merge(types, self.config)
+        return jxplain_merge(types, self.config, executor=self.executor)
 
 
 class JxplainNaive(Jxplain):
@@ -382,10 +467,16 @@ class JxplainNaive(Jxplain):
 
     name = "bimax-naive"
 
-    def __init__(self, config: Optional[JxplainConfig] = None):
+    def __init__(
+        self,
+        config: Optional[JxplainConfig] = None,
+        *,
+        executor=None,
+    ):
         base = config or JxplainConfig()
         super().__init__(
-            base.with_(entity_strategy=EntityStrategy.BIMAX_NAIVE)
+            base.with_(entity_strategy=EntityStrategy.BIMAX_NAIVE),
+            executor=executor,
         )
 
 

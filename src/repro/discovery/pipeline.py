@@ -29,7 +29,8 @@ from repro.discovery.stat_tree import (
     decide_collections,
 )
 from repro.engine.dataset import LocalDataset
-from repro.engine.instrument import StageTimer
+from repro.engine.executor import resolve_executor
+from repro.engine.instrument import StageTimer, counters
 from repro.entities.partitioner import EntityPartitioner
 from repro.errors import EmptyInputError
 from repro.heuristics.collection import CollectionEvidence, Designation
@@ -154,24 +155,52 @@ class TupleShapes:
         return merged
 
 
+def _compile_partitioner(task):
+    """Cluster one path's key-sets into an :class:`EntityPartitioner`.
+
+    Module-level (and fed fully picklable tasks) so the process
+    executor backend can ship it to workers.
+    """
+    path, key_sets, config = task
+    return path, EntityPartitioner(cluster_key_sets(key_sets, config))
+
+
 def build_partitioners(
-    shapes: TupleShapes, config: JxplainConfig
+    shapes: TupleShapes, config: JxplainConfig, executor=None
 ) -> "tuple[Dict[Path, EntityPartitioner], Dict[Path, EntityPartitioner]]":
-    """Compile pass ②'s shapes into per-path entity partitioners."""
-    object_partitioners: Dict[Path, EntityPartitioner] = {}
-    for path, feature_sets in shapes.object_features.items():
-        clusters = cluster_key_sets(
-            _deterministic_feature_order(feature_sets), config
+    """Compile pass ②'s shapes into per-path entity partitioners.
+
+    Each tuple-designated path clusters independently — this is the
+    embarrassingly parallel core of entity discovery — so the per-path
+    Bimax/GreedyMerge runs fan out over ``executor`` (an
+    :class:`~repro.engine.executor.Executor` or spec string) when one
+    is given.  Results keep path order, so the output is identical to
+    the serial loop.
+    """
+    object_tasks = [
+        (path, _deterministic_feature_order(feature_sets), config)
+        for path, feature_sets in shapes.object_features.items()
+    ]
+    array_tasks = [
+        (
+            path,
+            [
+                frozenset(str(i) for i in range(length))
+                for length in sorted(lengths)
+            ],
+            config,
         )
-        object_partitioners[path] = EntityPartitioner(clusters)
-    array_partitioners: Dict[Path, EntityPartitioner] = {}
-    for path, lengths in shapes.array_lengths.items():
-        position_sets = [
-            frozenset(str(i) for i in range(length))
-            for length in sorted(lengths)
-        ]
-        clusters = cluster_key_sets(position_sets, config)
-        array_partitioners[path] = EntityPartitioner(clusters)
+        for path, lengths in shapes.array_lengths.items()
+    ]
+    tasks = object_tasks + array_tasks
+    backend = resolve_executor(executor) if executor is not None else None
+    if backend is None or len(tasks) <= 1:
+        compiled = [_compile_partitioner(task) for task in tasks]
+    else:
+        counters.add("pipeline.partitioner_fanouts")
+        compiled = backend.map_list(_compile_partitioner, tasks)
+    object_partitioners = dict(compiled[: len(object_tasks)])
+    array_partitioners = dict(compiled[len(object_tasks):])
     return object_partitioners, array_partitioners
 
 
@@ -219,11 +248,14 @@ class PipelineMerger(JxplainMerger):
         return partitioner.non_empty_groups(list(objects), features)
 
     def partition_arrays(
-        self, arrays: Sequence[ArrayType], path: Path
+        self,
+        arrays: Sequence[ArrayType],
+        path: Path,
+        counts: Optional[Sequence[int]] = None,
     ) -> List[List[ArrayType]]:
         partitioner = self._array_partitioners.get(path)
         if partitioner is None:
-            return super().partition_arrays(arrays, path)
+            return super().partition_arrays(arrays, path, counts=counts)
         key_sets = [
             frozenset(str(i) for i in range(len(tau))) for tau in arrays
         ]
@@ -327,7 +359,7 @@ class JxplainPipeline(Discoverer):
                 lambda a, b: a.merge(b),
             )
             object_partitioners, array_partitioners = build_partitioners(
-                shapes, self.config
+                shapes, self.config, executor=dataset.executor
             )
         with timer.stage("pass3-synthesis"):
             folder = DecidedFolder(

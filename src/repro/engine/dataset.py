@@ -121,6 +121,11 @@ class LocalDataset(Generic[T]):
             _scan_counter=self._scan_counter,
         )
 
+    @property
+    def executor(self) -> Executor:
+        """The backend this dataset's lineage runs on."""
+        return self._executor
+
     def with_executor(self, executor) -> "LocalDataset[T]":
         """The same dataset (partitions, scan counter) on a new backend.
 
@@ -138,10 +143,6 @@ class LocalDataset(Generic[T]):
     @property
     def num_partitions(self) -> int:
         return len(self._partitions)
-
-    @property
-    def executor(self) -> Executor:
-        return self._executor
 
     @property
     def scans(self) -> int:

@@ -15,6 +15,7 @@ hits, similarity-cache hits, counted-merge distinct ratios — that the
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -22,25 +23,37 @@ from typing import Dict, Iterator, List, Tuple
 
 
 class Counters:
-    """A mergeable bag of named numeric counters."""
+    """A mergeable bag of named numeric counters.
+
+    Thread-safe: the entity-discovery layer flushes aggregated counts
+    from executor worker threads, so the read-modify-write in
+    :meth:`add` takes a lock.  Callers keep counters cheap by
+    accumulating locally and adding once per logical operation, not
+    once per event.
+    """
 
     def __init__(self) -> None:
         self._values: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def add(self, name: str, amount: float = 1) -> None:
-        self._values[name] = self._values.get(name, 0) + amount
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
 
     def set(self, name: str, value: float) -> None:
-        self._values[name] = value
+        with self._lock:
+            self._values[name] = value
 
     def get(self, name: str, default: float = 0) -> float:
         return self._values.get(name, default)
 
     def snapshot(self) -> Dict[str, float]:
-        return dict(self._values)
+        with self._lock:
+            return dict(self._values)
 
     def reset(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         body = ", ".join(

@@ -4,6 +4,11 @@ Implements Section 6 of the paper: Algorithm 6 (Bimax ordering),
 Algorithm 7 (Bimax-Naive clustering), Algorithm 8 (GreedyMerge), the
 k-means baseline of Section 7.3, the feature-vector preprocessing of
 Section 6.4, and the deterministic record→entity partitioner.
+
+All of the subset/overlap-heavy algorithms run internally on interned
+integer bitmasks (:mod:`repro.entities.keyset`) by default;
+:func:`set_entity_representation` switches back to the seed's
+frozenset implementations, and the two are cluster-identical.
 """
 
 from repro.entities.bimax import (
@@ -12,6 +17,13 @@ from repro.entities.bimax import (
     bimax_naive,
     bimax_order,
     block_boundaries,
+    distinct_key_sets,
+)
+from repro.entities.keyset import (
+    KeySetUniverse,
+    entity_representation,
+    iter_bits,
+    set_entity_representation,
 )
 from repro.entities.features import (
     FeatureMemoryProfile,
@@ -37,6 +49,7 @@ from repro.entities.partitioner import EntityPartitioner
 from repro.entities.set_cover import (
     cover_exists,
     greedy_set_cover,
+    greedy_set_cover_masks,
     minimal_cover_size,
 )
 
@@ -48,20 +61,26 @@ __all__ = [
     "FeatureVectorSet",
     "KMeansResult",
     "KeySet",
+    "KeySetUniverse",
     "bimax_merge",
     "bimax_naive",
     "bimax_order",
     "block_boundaries",
     "cover_exists",
+    "distinct_key_sets",
     "encode_key_sets",
+    "entity_representation",
     "extract_feature_vectors",
     "feature_memory_profile",
     "greedy_merge",
     "merge_to_fixpoint",
     "greedy_set_cover",
+    "greedy_set_cover_masks",
+    "iter_bits",
     "kmeans_clusters",
     "kmeans_key_sets",
     "minimal_cover_size",
+    "set_entity_representation",
     "top_level_key_set",
     "type_paths",
 ]

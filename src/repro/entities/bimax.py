@@ -10,12 +10,29 @@ illustrated by the paper's Example 9.
 :func:`bimax_naive` is Algorithm 7, which additionally emits each
 ``K_sub`` block — the seed set and all of its subsets — as one entity
 cluster.
+
+Both run internally on either frozensets or interned integer bitmasks
+(:mod:`repro.entities.keyset`); the bitset path turns every
+subset/overlap test of the O(n²) partition loop into a couple of
+machine-word operations while emitting byte-identical clusters.  The
+public API speaks frozensets regardless of representation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Sequence, Tuple
+from functools import lru_cache
+from typing import (
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.engine.instrument import counters
+from repro.entities.keyset import KeySetUniverse, bitset_enabled, encode_all
 
 #: A feature set: record keys (strings) or record paths (tuples),
 #: depending on the configured feature mode.  Any hashable works.
@@ -30,15 +47,30 @@ class EntityCluster:
     subset of it.  Bimax-Naive seeds it with the largest key-set of the
     block; GreedyMerge may later *synthesize* a larger one by unioning
     covers (tracked by ``synthesized``).
+
+    ``member_counts``, when present, aligns with ``members`` and
+    carries each member's record multiplicity, so downstream consumers
+    (partition weighting, k-means seeding) can weight by record
+    frequency rather than by distinct shape.  It is populated whenever
+    the clustering entry point was given multiplicities.
     """
 
     maximal: KeySet
     members: List[KeySet] = field(default_factory=list)
     synthesized: bool = False
+    member_counts: Optional[List[int]] = None
 
     @property
     def size(self) -> int:
         return len(self.maximal)
+
+    @property
+    def weight(self) -> int:
+        """Total records covered: sum of multiplicities, or the member
+        count when multiplicities were not threaded through."""
+        if self.member_counts is None:
+            return len(self.members)
+        return sum(self.member_counts)
 
     def __contains__(self, key_set: KeySet) -> bool:
         return key_set in self.members
@@ -48,17 +80,126 @@ class EntityCluster:
         return key_set <= self.maximal
 
 
-def _sorted_by_size(key_sets: Iterable[KeySet]) -> List[KeySet]:
-    """Descending size; ties broken by sorted key reprs for determinism.
+@lru_cache(maxsize=65536)
+def _repr_sort_key(key_set: KeySet) -> Tuple[str, ...]:
+    """``tuple(sorted(map(repr, ks)))``, computed once per key-set.
 
     Keys are sorted by ``repr`` because feature vectors may mix key
     types (strings, array positions, path tuples), which are not
-    mutually ordered.
+    mutually ordered.  The cache matters because Bimax re-sorts the
+    same sets on every :func:`~repro.entities.greedy_merge.merge_to_fixpoint`
+    round.
     """
-    return sorted(
-        key_sets,
-        key=lambda ks: (-len(ks), tuple(sorted(repr(k) for k in ks))),
-    )
+    return tuple(sorted(map(repr, key_set)))
+
+
+def _sorted_by_size(key_sets: Iterable[KeySet]) -> List[KeySet]:
+    """Descending size; ties broken by the precomputed repr key for
+    determinism."""
+    return sorted(key_sets, key=lambda ks: (-len(ks), _repr_sort_key(ks)))
+
+
+def _sorted_masks(masks: Sequence[int], universe: KeySetUniverse) -> List[int]:
+    """The mask counterpart of :func:`_sorted_by_size`.
+
+    Bit positions are repr-sorted, so a mask's bit-order repr tuple is
+    exactly the frozenset tie-break key — the two sorts agree on every
+    input, including the stability of equal keys.
+    """
+    keyed = {mask: (-mask.bit_count(), universe.sort_key(mask)) for mask in masks}
+    return sorted(masks, key=keyed.__getitem__)
+
+
+def distinct_key_sets(
+    key_sets: Iterable[KeySet],
+    counts: Optional[Sequence[int]] = None,
+) -> Tuple[List[KeySet], List[int]]:
+    """Multiplicity-preserving dedup: ``(distinct sets, multiplicities)``.
+
+    Order is first occurrence.  Without explicit ``counts`` each
+    occurrence weighs 1 (so the multiplicities are occurrence counts);
+    with ``counts`` aligned to the input, duplicates accumulate their
+    given weights — the bag semantics the counted-merge layer feeds in.
+    """
+    index: dict = {}
+    unique: List[KeySet] = []
+    weights: List[int] = []
+    if counts is None:
+        for key_set in key_sets:
+            frozen = frozenset(key_set)
+            at = index.get(frozen)
+            if at is None:
+                index[frozen] = len(unique)
+                unique.append(frozen)
+                weights.append(1)
+            else:
+                weights[at] += 1
+    else:
+        for key_set, count in zip(key_sets, counts):
+            frozen = frozenset(key_set)
+            at = index.get(frozen)
+            if at is None:
+                index[frozen] = len(unique)
+                unique.append(frozen)
+                weights.append(count)
+            else:
+                weights[at] += count
+    return unique, weights
+
+
+def _distinct(key_sets: Iterable[KeySet]) -> List[KeySet]:
+    unique, _ = distinct_key_sets(key_sets)
+    return unique
+
+
+# -- Algorithm 6: the reordering -------------------------------------------
+
+
+def _bimax_order_sets(ordering: List[KeySet]) -> List[KeySet]:
+    """The seed frozenset implementation of the Bimax reorder loop."""
+    subset_tests = 0
+    index = 0
+    while index < len(ordering):
+        k_max = ordering[index]
+        subsets: List[KeySet] = []
+        overlap: List[KeySet] = []
+        disjoint: List[KeySet] = []
+        for key_set in ordering[index:]:
+            subset_tests += 1
+            if key_set <= k_max:
+                subsets.append(key_set)
+            elif not (key_set & k_max):
+                disjoint.append(key_set)
+            else:
+                overlap.append(key_set)
+        ordering[index:] = subsets + overlap + disjoint
+        index += len(subsets)
+    counters.add("entities.subset_tests", subset_tests)
+    return ordering
+
+
+def _bimax_order_masks(ordering: List[int]) -> List[int]:
+    """The bitset implementation: the same loop over int masks."""
+    subset_tests = 0
+    index = 0
+    while index < len(ordering):
+        k_max = ordering[index]
+        subsets: List[int] = []
+        overlap: List[int] = []
+        disjoint: List[int] = []
+        for mask in ordering[index:]:
+            inter = mask & k_max
+            if inter == mask:
+                subsets.append(mask)
+            elif not inter:
+                disjoint.append(mask)
+            else:
+                overlap.append(mask)
+        subset_tests += len(ordering) - index
+        ordering[index:] = subsets + overlap + disjoint
+        index += len(subsets)
+    counters.add("entities.subset_tests", subset_tests)
+    return ordering
 
 
 def bimax_order(key_sets: Sequence[KeySet]) -> List[KeySet]:
@@ -68,7 +209,23 @@ def bimax_order(key_sets: Sequence[KeySet]) -> List[KeySet]:
     the remainder as (subsets of ``k_max``) < (overlapping) <
     (disjoint), then advances past the subset block.
     """
-    ordering = _sorted_by_size(key_sets)
+    if not bitset_enabled():
+        return _bimax_order_sets(_sorted_by_size(key_sets))
+    universe = KeySetUniverse.from_key_sets(key_sets)
+    masks = _sorted_masks(encode_all(universe, key_sets), universe)
+    return [universe.decode(mask) for mask in _bimax_order_masks(masks)]
+
+
+# -- Algorithm 7: the naive clustering -------------------------------------
+
+
+def _bimax_naive_sets(
+    distinct: List[KeySet], weights: List[int]
+) -> List[Tuple[KeySet, List[KeySet], List[int]]]:
+    count_of = dict(zip(distinct, weights))
+    ordering = _bimax_order_sets(_sorted_by_size(distinct))
+    blocks: List[Tuple[KeySet, List[KeySet], List[int]]] = []
+    subset_tests = 0
     index = 0
     while index < len(ordering):
         k_max = ordering[index]
@@ -82,50 +239,82 @@ def bimax_order(key_sets: Sequence[KeySet]) -> List[KeySet]:
                 disjoint.append(key_set)
             else:
                 overlap.append(key_set)
+        subset_tests += len(ordering) - index
         ordering[index:] = subsets + overlap + disjoint
+        blocks.append(
+            (k_max, list(subsets), [count_of[ks] for ks in subsets])
+        )
         index += len(subsets)
-    return ordering
+    counters.add("entities.subset_tests", subset_tests)
+    return blocks
 
 
-def bimax_naive(key_sets: Sequence[KeySet]) -> List[EntityCluster]:
+def _bimax_naive_masks(
+    distinct: List[KeySet], weights: List[int]
+) -> List[Tuple[KeySet, List[KeySet], List[int]]]:
+    universe = KeySetUniverse.from_key_sets(distinct)
+    masks = encode_all(universe, distinct)
+    count_of = dict(zip(masks, weights))
+    ordering = _bimax_order_masks(_sorted_masks(masks, universe))
+    blocks: List[Tuple[KeySet, List[KeySet], List[int]]] = []
+    subset_tests = 0
+    index = 0
+    while index < len(ordering):
+        k_max = ordering[index]
+        subsets: List[int] = []
+        overlap: List[int] = []
+        disjoint: List[int] = []
+        for mask in ordering[index:]:
+            inter = mask & k_max
+            if inter == mask:
+                subsets.append(mask)
+            elif not inter:
+                disjoint.append(mask)
+            else:
+                overlap.append(mask)
+        subset_tests += len(ordering) - index
+        ordering[index:] = subsets + overlap + disjoint
+        blocks.append(
+            (
+                universe.decode(k_max),
+                [universe.decode(m) for m in subsets],
+                [count_of[m] for m in subsets],
+            )
+        )
+        index += len(subsets)
+    counters.add("entities.subset_tests", subset_tests)
+    return blocks
+
+
+def bimax_naive(
+    key_sets: Sequence[KeySet],
+    counts: Optional[Sequence[int]] = None,
+) -> List[EntityCluster]:
     """Algorithm 7: cluster key-sets into subset-blocks.
 
     Returns clusters in emission (insertion) order.  Each cluster's
     maximal element is its seed — the largest key-set of its block —
     and its members are that seed's subsets from the remaining input.
     Duplicates in the input collapse (a bag of identical key-sets forms
-    a single member).
+    a single member); their multiplicities accumulate and, when
+    ``counts`` is given, are recorded on the clusters'
+    ``member_counts``.
     """
-    ordering = bimax_order(_distinct(key_sets))
-    clusters: List[EntityCluster] = []
-    index = 0
-    while index < len(ordering):
-        k_max = ordering[index]
-        subsets: List[KeySet] = []
-        overlap: List[KeySet] = []
-        disjoint: List[KeySet] = []
-        for key_set in ordering[index:]:
-            if key_set <= k_max:
-                subsets.append(key_set)
-            elif not (key_set & k_max):
-                disjoint.append(key_set)
-            else:
-                overlap.append(key_set)
-        ordering[index:] = subsets + overlap + disjoint
-        clusters.append(EntityCluster(maximal=k_max, members=list(subsets)))
-        index += len(subsets)
-    return clusters
-
-
-def _distinct(key_sets: Iterable[KeySet]) -> List[KeySet]:
-    seen = set()
-    unique: List[KeySet] = []
-    for key_set in key_sets:
-        frozen = frozenset(key_set)
-        if frozen not in seen:
-            seen.add(frozen)
-            unique.append(frozen)
-    return unique
+    distinct, weights = distinct_key_sets(key_sets, counts)
+    if bitset_enabled():
+        blocks = _bimax_naive_masks(distinct, weights)
+    else:
+        blocks = _bimax_naive_sets(distinct, weights)
+    counters.add("entities.clusters_emitted", len(blocks))
+    keep_counts = counts is not None
+    return [
+        EntityCluster(
+            maximal=maximal,
+            members=members,
+            member_counts=list(member_counts) if keep_counts else None,
+        )
+        for maximal, members, member_counts in blocks
+    ]
 
 
 def block_boundaries(key_sets: Sequence[KeySet]) -> List[Tuple[int, int]]:

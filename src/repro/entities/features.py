@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import sys
 from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.jsontypes.paths import Path, ROOT, STAR
 from repro.jsontypes.types import ArrayType, JsonType, ObjectType
@@ -81,6 +81,9 @@ class FeatureVectorSet:
     """A compacted bag of feature vectors with multiplicities."""
 
     counts: Counter
+    _vocabulary: Optional[Tuple[Path, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_vectors(cls, vectors: Iterable[FeatureVector]) -> "FeatureVectorSet":
@@ -95,10 +98,23 @@ class FeatureVectorSet:
         return len(self.counts)
 
     def vocabulary(self) -> Tuple[Path, ...]:
-        paths: set = set()
-        for vector in self.counts:
-            paths |= vector
-        return tuple(sorted(paths, key=repr))
+        """The ``repr``-sorted union of all feature paths.
+
+        Computed once and cached: both memory estimates and the dense
+        encoding consult it, and a memory profile alone would otherwise
+        rebuild it twice per estimate.  Call :meth:`invalidate` after
+        mutating ``counts`` in place.
+        """
+        if self._vocabulary is None:
+            paths: set = set()
+            for vector in self.counts:
+                paths |= vector
+            self._vocabulary = tuple(sorted(paths, key=repr))
+        return self._vocabulary
+
+    def invalidate(self) -> None:
+        """Drop the cached vocabulary after an in-place mutation."""
+        self._vocabulary = None
 
     def sparse_memory_bytes(self) -> int:
         """Estimated bytes for the sparse (set-per-vector) encoding.

@@ -20,34 +20,51 @@ lets every later candidate swallow the previously-emitted one whose
 synthesized maximal keeps growing, cascading all entities into a
 single blob on streams with shared foreign keys.)  Each successful
 cover consumes at least one live cluster, so the algorithm terminates.
+
+The O(n² · cover) search runs internally on either frozensets or
+interned integer bitmasks (:mod:`repro.entities.keyset`); only the
+maximal elements participate in set algebra, so the bitset path encodes
+just those and leaves member lists untouched.  Member multiplicities
+(``EntityCluster.member_counts``), when present on every input
+cluster, ride along through merges.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.engine.instrument import counters
 from repro.entities.bimax import EntityCluster, KeySet, bimax_naive
-from repro.entities.set_cover import greedy_set_cover
+from repro.entities.keyset import KeySetUniverse, bitset_enabled
+from repro.entities.set_cover import greedy_set_cover, greedy_set_cover_masks
 
 
-def greedy_merge(clusters: Sequence[EntityCluster]) -> List[EntityCluster]:
-    """Algorithm 8: merge Bimax-Naive clusters via set covers.
+def _counts_threaded(clusters: Sequence[EntityCluster]) -> bool:
+    """Multiplicities propagate only when every input carries them."""
+    return bool(clusters) and all(
+        cluster.member_counts is not None for cluster in clusters
+    )
 
-    ``clusters`` must be in Bimax-Naive insertion order (largest
-    first); processing runs in reverse, i.e. smallest-first.  Returns
-    merged entities in emission order.
-    """
+
+def _greedy_merge_sets(
+    clusters: Sequence[EntityCluster], with_counts: bool
+) -> List[EntityCluster]:
+    """The seed frozenset implementation of Algorithm 8."""
     live: List[EntityCluster] = [
         EntityCluster(
             maximal=cluster.maximal,
             members=list(cluster.members),
             synthesized=cluster.synthesized,
+            member_counts=(
+                list(cluster.member_counts) if with_counts else None
+            ),
         )
         for cluster in clusters
     ]
     consumed = [False] * len(live)
     emitted = [False] * len(live)
     merged: List[EntityCluster] = []
+    cover_calls = 0
 
     for position in range(len(live) - 1, -1, -1):
         if consumed[position]:
@@ -65,6 +82,7 @@ def greedy_merge(clusters: Sequence[EntityCluster]) -> List[EntityCluster]:
                 and not consumed[index]
                 and not emitted[index]
             ]
+            cover_calls += 1
             cover_local = greedy_set_cover(
                 candidate.maximal, [live[i].maximal for i in pool]
             )
@@ -75,12 +93,94 @@ def greedy_merge(clusters: Sequence[EntityCluster]) -> List[EntityCluster]:
                 index = pool[local]
                 consumed[index] = True
                 candidate.members.extend(live[index].members)
+                if with_counts:
+                    candidate.member_counts.extend(
+                        live[index].member_counts
+                    )
                 new_keys |= live[index].maximal
             candidate.maximal = frozenset(new_keys)
             candidate.synthesized = True
         emitted[position] = True
         merged.append(candidate)
 
+    counters.add("entities.cover_calls", cover_calls)
+    return merged
+
+
+def _greedy_merge_masks(
+    clusters: Sequence[EntityCluster], with_counts: bool
+) -> List[EntityCluster]:
+    """The bitset implementation: maximal elements as int masks."""
+    universe = KeySetUniverse.from_key_sets(
+        cluster.maximal for cluster in clusters
+    )
+    count = len(clusters)
+    maximals = [universe.encode(cluster.maximal) for cluster in clusters]
+    members = [list(cluster.members) for cluster in clusters]
+    member_counts = [
+        list(cluster.member_counts) if with_counts else None
+        for cluster in clusters
+    ]
+    synthesized = [cluster.synthesized for cluster in clusters]
+    consumed = [False] * count
+    emitted = [False] * count
+    merged: List[EntityCluster] = []
+    cover_calls = 0
+
+    for position in range(count - 1, -1, -1):
+        if consumed[position]:
+            continue
+        while True:
+            pool = [
+                index
+                for index in range(count - 1, -1, -1)
+                if index != position
+                and not consumed[index]
+                and not emitted[index]
+            ]
+            cover_calls += 1
+            cover_local = greedy_set_cover_masks(
+                maximals[position], [maximals[i] for i in pool]
+            )
+            if cover_local is None or not cover_local:
+                break
+            new_mask = maximals[position]
+            for local in cover_local:
+                index = pool[local]
+                consumed[index] = True
+                members[position].extend(members[index])
+                if with_counts:
+                    member_counts[position].extend(member_counts[index])
+                new_mask |= maximals[index]
+            maximals[position] = new_mask
+            synthesized[position] = True
+        emitted[position] = True
+        merged.append(
+            EntityCluster(
+                maximal=universe.decode(maximals[position]),
+                members=members[position],
+                synthesized=synthesized[position],
+                member_counts=member_counts[position],
+            )
+        )
+
+    counters.add("entities.cover_calls", cover_calls)
+    return merged
+
+
+def greedy_merge(clusters: Sequence[EntityCluster]) -> List[EntityCluster]:
+    """Algorithm 8: merge Bimax-Naive clusters via set covers.
+
+    ``clusters`` must be in Bimax-Naive insertion order (largest
+    first); processing runs in reverse, i.e. smallest-first.  Returns
+    merged entities in emission order.
+    """
+    with_counts = _counts_threaded(clusters)
+    if bitset_enabled():
+        merged = _greedy_merge_masks(clusters, with_counts)
+    else:
+        merged = _greedy_merge_sets(clusters, with_counts)
+    counters.add("entities.clusters_emitted", len(merged))
     return merged
 
 
@@ -97,26 +197,36 @@ def merge_to_fixpoint(
     in 1-2 extra rounds in practice; ``max_iterations`` is a backstop.
     """
     current = list(clusters)
+    with_counts = _counts_threaded(current)
     for _ in range(max_iterations):
         before = len(current)
         members_of: dict = {}
         for cluster in current:
-            members_of.setdefault(cluster.maximal, []).extend(
-                cluster.members
-            )
+            entry = members_of.setdefault(cluster.maximal, ([], []))
+            entry[0].extend(cluster.members)
+            if with_counts:
+                entry[1].extend(cluster.member_counts)
         regrouped = greedy_merge(
             bimax_naive([cluster.maximal for cluster in current])
         )
         rebuilt: List[EntityCluster] = []
         for group in regrouped:
             members: List[KeySet] = []
+            group_counts: List[int] = []
             for member in group.members:
-                members.extend(members_of.get(member, [member]))
+                entry = members_of.get(member)
+                if entry is None:
+                    members.append(member)
+                    group_counts.append(1)
+                else:
+                    members.extend(entry[0])
+                    group_counts.extend(entry[1])
             rebuilt.append(
                 EntityCluster(
                     maximal=group.maximal,
                     members=members,
                     synthesized=True,
+                    member_counts=group_counts if with_counts else None,
                 )
             )
         current = rebuilt

@@ -67,6 +67,52 @@ def greedy_set_cover(
     return cover
 
 
+def greedy_set_cover_masks(
+    target: int, candidates: Sequence[int]
+) -> Optional[List[int]]:
+    """:func:`greedy_set_cover` over interned integer bitmasks.
+
+    Byte-for-byte the same greedy choices — gains and extraneous-key
+    counts become popcounts, feasibility becomes a single AND — so the
+    returned index list is identical to the frozenset version on
+    equivalently encoded inputs.
+    """
+    if not candidates:
+        return None
+    uncovered = target
+    if not uncovered:
+        return []
+    available = 0
+    for candidate in candidates:
+        available |= candidate
+    if uncovered & available != uncovered:
+        return None
+    cover: List[int] = []
+    chosen = [False] * len(candidates)
+    while uncovered:
+        best_index = -1
+        best_score = None
+        for index, candidate in enumerate(candidates):
+            if chosen[index]:
+                continue
+            gain = (uncovered & candidate).bit_count()
+            if gain == 0:
+                continue
+            # Prefer covers that stay inside the target (see the
+            # frozenset implementation above for the rationale).
+            extraneous = (candidate & ~target).bit_count()
+            score = (extraneous, -gain)
+            if best_score is None or score < best_score:
+                best_score = score
+                best_index = index
+        if best_index < 0:  # pragma: no cover - feasibility checked above
+            return None
+        chosen[best_index] = True
+        cover.append(best_index)
+        uncovered &= ~candidates[best_index]
+    return cover
+
+
 def cover_exists(target: KeySet, candidates: Sequence[KeySet]) -> bool:
     """Does any subset of ``candidates`` cover ``target``?
 

@@ -1,0 +1,160 @@
+"""Multiplicity threading through the entity stack.
+
+Bimax dedup historically dropped duplicate counts on the floor; these
+tests pin the counted path: ``distinct_key_sets`` accumulates weights,
+clusters carry ``member_counts`` end to end through GreedyMerge and the
+fixpoint loop, the partitioner exposes weights, and k-means can weight
+by multiplicity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.discovery.config import EntityStrategy, JxplainConfig
+from repro.discovery.jxplain import cluster_key_sets
+from repro.entities.bimax import bimax_naive, distinct_key_sets
+from repro.entities.greedy_merge import greedy_merge, merge_to_fixpoint
+from repro.entities.kmeans import kmeans_key_sets
+from repro.entities.partitioner import EntityPartitioner
+
+
+def fs(*keys):
+    return frozenset(keys)
+
+
+class TestDistinctKeySets:
+    def test_occurrences_accumulate(self):
+        distinct, weights = distinct_key_sets(
+            [fs("a"), fs("b"), fs("a"), fs("a")]
+        )
+        assert distinct == [fs("a"), fs("b")]
+        assert weights == [3, 1]
+
+    def test_first_occurrence_order(self):
+        distinct, _ = distinct_key_sets([fs("b"), fs("a"), fs("b")])
+        assert distinct == [fs("b"), fs("a")]
+
+    def test_explicit_counts_accumulate(self):
+        distinct, weights = distinct_key_sets(
+            [fs("a"), fs("b"), fs("a")], counts=[5, 2, 7]
+        )
+        assert distinct == [fs("a"), fs("b")]
+        assert weights == [12, 2]
+
+
+class TestClusterCounts:
+    def test_bimax_naive_records_member_counts(self):
+        clusters = bimax_naive(
+            [fs("a", "b"), fs("a"), fs("a")], counts=[1, 1, 1]
+        )
+        assert len(clusters) == 1
+        cluster = clusters[0]
+        assert cluster.members == [fs("a", "b"), fs("a")]
+        assert cluster.member_counts == [1, 2]
+        assert cluster.weight == 3
+
+    def test_counts_omitted_means_none(self):
+        clusters = bimax_naive([fs("a"), fs("a")])
+        assert clusters[0].member_counts is None
+        assert clusters[0].weight == 1  # falls back to member count
+
+    def test_greedy_merge_propagates_counts(self):
+        # No maximal record exists, but each fragment's keys re-occur
+        # across the other two; the merge synthesizes {a,b,c} and must
+        # keep every member's multiplicity.
+        naive = bimax_naive(
+            [fs("a", "b"), fs("b", "c"), fs("a", "c")], counts=[1, 4, 2]
+        )
+        merged = merge_to_fixpoint(greedy_merge(naive))
+        assert len(merged) == 1
+        cluster = merged[0]
+        assert cluster.maximal == fs("a", "b", "c")
+        assert cluster.synthesized
+        assert sorted(cluster.member_counts) == [1, 2, 4]
+        assert cluster.weight == 7
+
+    def test_cluster_key_sets_threads_counts(self):
+        config = JxplainConfig(entity_strategy=EntityStrategy.BIMAX_MERGE)
+        clusters = cluster_key_sets(
+            [fs("id", "a"), fs("id", "b")], config, counts=[10, 3]
+        )
+        weights = {c.maximal: c.weight for c in clusters}
+        assert sum(weights.values()) == 13
+
+    def test_cluster_key_sets_single_strategy(self):
+        config = JxplainConfig(entity_strategy=EntityStrategy.SINGLE)
+        clusters = cluster_key_sets(
+            [fs("a"), fs("b"), fs("a")], config, counts=[2, 1, 5]
+        )
+        assert clusters[0].member_counts == [7, 1]
+
+
+class TestPartitionerWeights:
+    def test_cluster_weights(self):
+        clusters = bimax_naive([fs("a"), fs("b")], counts=[4, 9])
+        partitioner = EntityPartitioner(clusters)
+        assert sorted(partitioner.cluster_weights()) == [4, 9]
+
+    def test_group_weights_default_unit_counts(self):
+        clusters = bimax_naive([fs("a"), fs("b")])
+        partitioner = EntityPartitioner(clusters)
+        weights = partitioner.group_weights([fs("a"), fs("a"), fs("b")])
+        assert sorted(weights) == [1, 2]
+
+    def test_group_weights_with_counts(self):
+        clusters = bimax_naive([fs("a"), fs("b")])
+        partitioner = EntityPartitioner(clusters)
+        weights = partitioner.group_weights(
+            [fs("a"), fs("b")], counts=[100, 1]
+        )
+        assert sorted(weights) == [1, 100]
+
+
+class TestWeightedKMeans:
+    def test_unit_weights_match_unweighted(self):
+        # Unit weights change the seeding RNG draws but not the
+        # clustering: the induced partition and inertia are identical
+        # (labels may be permuted).
+        key_sets = [fs("a", "b"), fs("a"), fs("x", "y"), fs("x")]
+        plain = kmeans_key_sets(key_sets, 2, seed=3)
+        unit = kmeans_key_sets(key_sets, 2, seed=3, weights=[1, 1, 1, 1])
+
+        def partition(labels):
+            groups = {}
+            for index, label in enumerate(labels):
+                groups.setdefault(int(label), set()).add(index)
+            return {frozenset(g) for g in groups.values()}
+
+        assert partition(plain.labels) == partition(unit.labels)
+        assert plain.inertia == pytest.approx(unit.inertia)
+
+    def test_weights_pull_centroids(self):
+        # Two shapes in one cluster; the heavier one should dominate
+        # the centroid, matching clustering of the duplicated corpus.
+        key_sets = [fs("a", "b"), fs("a")]
+        heavy = kmeans_key_sets(key_sets, 1, seed=0, weights=[99, 1])
+        duplicated = kmeans_key_sets(
+            [fs("a", "b")] * 99 + [fs("a")], 1, seed=0
+        )
+        assert np.allclose(
+            sorted(heavy.centroids[0]), sorted(duplicated.centroids[0])
+        )
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_key_sets([fs("a")], 1, weights=[1, 2])
+
+    def test_config_gates_weighting(self):
+        config = JxplainConfig(
+            entity_strategy=EntityStrategy.KMEANS, kmeans_k=1
+        )
+        key_sets = [fs("a", "b"), fs("a"), fs("a")]
+        ungated = cluster_key_sets(key_sets, config, counts=[1, 1, 1])
+        gated = cluster_key_sets(
+            key_sets,
+            config.with_(kmeans_weighted=True),
+            counts=[1, 1, 1],
+        )
+        # Both run; the gate only changes which kmeans path executes.
+        assert sum(c.weight for c in ungated) == 3
+        assert sum(c.weight for c in gated) == 3

@@ -103,3 +103,26 @@ class TestMemoryProfile:
         ]
         profile = feature_memory_profile(types, frozenset())
         assert profile.dense_bytes < profile.sparse_bytes
+
+
+class TestVocabularyCache:
+    def test_vocabulary_computed_once(self):
+        types = [type_of({"a": 1, "b": 2}), type_of({"a": 1})]
+        fvs = extract_feature_vectors(types)
+        first = fvs.vocabulary()
+        assert fvs.vocabulary() is first  # cached, not recomputed
+
+    def test_dense_matrix_reuses_cache(self):
+        types = [type_of({"a": 1, "b": 2}), type_of({"b": 2})]
+        fvs = extract_feature_vectors(types)
+        vocab = fvs.vocabulary()
+        _, dense_vocab, _ = fvs.dense_matrix()
+        assert dense_vocab is vocab
+
+    def test_invalidate_after_mutation(self):
+        types = [type_of({"a": 1})]
+        fvs = extract_feature_vectors(types)
+        assert len(fvs.vocabulary()) == 1
+        fvs.counts[frozenset({("zz",)})] = 1
+        fvs.invalidate()
+        assert len(fvs.vocabulary()) == 2
