@@ -24,7 +24,11 @@ from typing import List, Optional
 
 from repro.datasets import dataset_names, make_dataset
 from repro.discovery import EntityStrategy, discoverer_names, make_discoverer
-from repro.io.jsonlines import read_jsonlines, write_jsonlines
+from repro.io.jsonlines import (
+    INGEST_POLICIES,
+    ingest_jsonlines,
+    write_jsonlines,
+)
 from repro.schema import (
     from_json_schema,
     render,
@@ -76,6 +80,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-collections", action="store_true",
         help="disable collection detection (K-reduce-style objects/arrays)",
     )
+    discover.add_argument(
+        "--on-bad-record",
+        choices=INGEST_POLICIES,
+        default="raise",
+        help="malformed input lines: abort (raise), drop them (skip), "
+        "or drop and report payloads (collect)",
+    )
 
     validate = sub.add_parser(
         "validate", help="validate records against a stored JSON Schema"
@@ -85,6 +96,13 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--explain", type=int, default=0, metavar="N",
         help="print explanations for the first N failures",
+    )
+    validate.add_argument(
+        "--on-bad-record",
+        choices=INGEST_POLICIES,
+        default="raise",
+        help="malformed input lines: abort (raise), drop them (skip), "
+        "or drop and report payloads (collect)",
     )
 
     entropy = sub.add_parser(
@@ -141,8 +159,15 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _read_input(path: str, on_bad_record: str) -> list:
+    records, report = ingest_jsonlines(path, on_bad_record=on_bad_record)
+    if not report.ok:
+        print(f"warning: {report.summary()}", file=sys.stderr)
+    return records
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
-    records = list(read_jsonlines(args.input))
+    records = _read_input(args.input, args.on_bad_record)
     if not records:
         print("error: input contains no records", file=sys.stderr)
         return 2
@@ -182,7 +207,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     with open(args.schema, encoding="utf-8") as handle:
         schema = from_json_schema(json.load(handle))
-    records = list(read_jsonlines(args.input))
+    records = _read_input(args.input, args.on_bad_record)
     report = validate_records(schema, records)
     print(
         f"validated {report.total} records: "

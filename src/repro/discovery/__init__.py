@@ -22,6 +22,7 @@ from repro.discovery.config import (
     BIMAX_NAIVE_CONFIG,
     EntityStrategy,
     JxplainConfig,
+    RobustnessConfig,
 )
 from repro.discovery.coref import (
     CoReference,
@@ -73,6 +74,7 @@ __all__ = [
     "FunctionDiscoverer",
     "Jxplain",
     "JxplainConfig",
+    "RobustnessConfig",
     "JxplainMerger",
     "JxplainNaive",
     "JxplainPipeline",

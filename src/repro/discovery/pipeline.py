@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union as TUnion
 
 from repro.discovery.base import Discoverer
-from repro.discovery.config import FeatureMode, JxplainConfig
+from repro.discovery.config import FeatureMode, JxplainConfig, RobustnessConfig
 from repro.discovery.fold import DecidedFolder, FoldNode
 from repro.discovery.jxplain import JxplainMerger, cluster_key_sets
 from repro.discovery.stat_tree import (
@@ -272,6 +272,9 @@ class PipelineResult:
     array_partitioners: Dict[Path, EntityPartitioner]
     timer: StageTimer
     record_count: int
+    #: Per-file ingestion account when the run came from
+    #: :meth:`JxplainPipeline.run_file`; None for in-memory input.
+    ingest_report: Optional[object] = None
 
     @property
     def collection_paths(self) -> frozenset:
@@ -296,6 +299,7 @@ class JxplainPipeline(Discoverer):
         heuristic_sample: Optional[float] = None,
         sample_seed: int = 0,
         executor=None,
+        robustness: Optional[RobustnessConfig] = None,
     ):
         """``heuristic_sample`` enables §4.2's sampling mitigation:
         passes ① and ② run on a Bernoulli sample of that fraction,
@@ -307,6 +311,11 @@ class JxplainPipeline(Discoverer):
         :class:`~repro.engine.Executor` or a spec string like
         ``"threads:4"``) used when the pipeline builds its own dataset;
         a :class:`LocalDataset` passed to :meth:`run` keeps its own.
+
+        ``robustness`` installs the DESIGN.md §8 failure model: its
+        retry policy supervises every per-partition task of every pass
+        (on whichever backend the dataset carries), and its
+        ``on_bad_record`` policy governs :meth:`run_file` ingestion.
         """
         self.config = config or JxplainConfig()
         self.config.validate()
@@ -317,6 +326,9 @@ class JxplainPipeline(Discoverer):
         self.heuristic_sample = heuristic_sample
         self.sample_seed = sample_seed
         self.executor = executor
+        if robustness is not None:
+            robustness.validate()
+        self.robustness = robustness
 
     # -- the three passes ------------------------------------------------------
 
@@ -333,6 +345,10 @@ class JxplainPipeline(Discoverer):
             )
         if dataset.is_empty():
             raise EmptyInputError("pipeline: no input records")
+        if self.robustness is not None:
+            policy = self.robustness.retry_policy()
+            if policy is not None:
+                dataset = dataset.with_retry(policy)
         with timer.stage("parse"):
             types = dataset.map(self._ensure_type)
         if self.heuristic_sample is not None and self.heuristic_sample < 1.0:
@@ -397,6 +413,29 @@ class JxplainPipeline(Discoverer):
                 else types.count()
             ),
         )
+
+    def run_file(self, path) -> PipelineResult:
+        """Ingest a ``.jsonl`` file and run the three passes.
+
+        The file is read under the robustness config's
+        ``on_bad_record`` policy (``raise`` when no config is set); the
+        resulting :class:`~repro.io.jsonlines.IngestReport` rides along
+        on the :class:`PipelineResult`.
+        """
+        policy = (
+            self.robustness.on_bad_record
+            if self.robustness is not None
+            else "raise"
+        )
+        dataset = LocalDataset.from_jsonlines(
+            path,
+            self.num_partitions,
+            executor=self.executor,
+            on_bad_record=policy,
+        )
+        result = self.run(dataset)
+        result.ingest_report = dataset.ingest_report
+        return result
 
     @staticmethod
     def _ensure_type(record: TUnion[JsonType, JsonValue]) -> JsonType:

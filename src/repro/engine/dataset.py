@@ -95,6 +95,8 @@ class LocalDataset(Generic[T]):
         # The scan counter is shared across derived datasets so that a
         # whole pipeline's pass count accumulates in one place.
         self._scan_counter = _scan_counter if _scan_counter is not None else [0]
+        #: Filled by :meth:`from_jsonlines`; None for in-memory data.
+        self.ingest_report = None
 
     # -- construction --------------------------------------------------------
 
@@ -113,6 +115,32 @@ class LocalDataset(Generic[T]):
         for index, record in enumerate(records):
             partitions[index % num_partitions].append(record)
         return cls(partitions, executor=executor)
+
+    @classmethod
+    def from_jsonlines(
+        cls,
+        path,
+        num_partitions: int = DEFAULT_PARTITIONS,
+        *,
+        executor: Optional[Executor] = None,
+        on_bad_record: str = "raise",
+    ) -> "LocalDataset":
+        """Ingest a ``.jsonl`` file straight into a dataset.
+
+        ``on_bad_record`` is the error-channel policy of
+        :func:`repro.io.jsonlines.read_jsonlines`; the resulting
+        per-file :class:`~repro.io.jsonlines.IngestReport` is attached
+        to the returned dataset as :attr:`ingest_report` (derived
+        datasets do not inherit it — it describes this one file).
+        """
+        from repro.io.jsonlines import ingest_jsonlines
+
+        records, report = ingest_jsonlines(path, on_bad_record=on_bad_record)
+        dataset = cls.from_records(
+            records, num_partitions, executor=executor
+        )
+        dataset.ingest_report = report
+        return dataset
 
     def _derive(self, partitions: List[List[U]]) -> "LocalDataset[U]":
         return LocalDataset(
@@ -137,6 +165,12 @@ class LocalDataset(Generic[T]):
             executor=resolve_executor(executor),
             _scan_counter=self._scan_counter,
         )
+
+    def with_retry(self, retry) -> "LocalDataset[T]":
+        """The same dataset on this backend with a
+        :class:`~repro.engine.executor.RetryPolicy` installed (``None``
+        removes supervision)."""
+        return self.with_executor(self._executor.with_retry(retry))
 
     # -- introspection -------------------------------------------------------
 

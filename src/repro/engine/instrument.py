@@ -95,7 +95,12 @@ def reset_perf_counters() -> None:
 
 
 class StageTimer:
-    """Accumulates wall-clock time per named pipeline stage."""
+    """Accumulates wall-clock time per named pipeline stage.
+
+    Entering a stage also labels the thread via
+    :func:`repro.engine.faults.stage_scope`, so every timed stage name
+    doubles as a fault-injection target for the chaos suite.
+    """
 
     def __init__(self) -> None:
         self._elapsed: "OrderedDict[str, float]" = OrderedDict()
@@ -103,9 +108,12 @@ class StageTimer:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
+        from repro.engine.faults import stage_scope
+
         start = time.perf_counter()
         try:
-            yield
+            with stage_scope(name):
+                yield
         finally:
             duration = time.perf_counter() - start
             self._elapsed[name] = self._elapsed.get(name, 0.0) + duration

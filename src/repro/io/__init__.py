@@ -1,6 +1,15 @@
-"""IO: JSON-lines streaming and the paper's sampling protocol."""
+"""IO: JSON-lines streaming (with an error channel) and sampling."""
 
-from repro.io.jsonlines import load_jsonlines, read_jsonlines, write_jsonlines
+from repro.io.jsonlines import (
+    BAD_PAYLOAD_LIMIT,
+    BadRecord,
+    INGEST_POLICIES,
+    IngestReport,
+    ingest_jsonlines,
+    load_jsonlines,
+    read_jsonlines,
+    write_jsonlines,
+)
 from repro.io.sampling import (
     PAPER_TEST_FRACTION,
     PAPER_TRAINING_FRACTIONS,
@@ -13,10 +22,15 @@ from repro.io.sampling import (
 )
 
 __all__ = [
+    "BAD_PAYLOAD_LIMIT",
+    "BadRecord",
+    "INGEST_POLICIES",
+    "IngestReport",
     "PAPER_TEST_FRACTION",
     "PAPER_TRAINING_FRACTIONS",
     "PAPER_TRIALS",
     "TrainTestSplit",
+    "ingest_jsonlines",
     "load_jsonlines",
     "paper_protocol",
     "read_jsonlines",

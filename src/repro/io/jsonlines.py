@@ -1,43 +1,201 @@
-"""JSON-lines reading and writing.
+"""JSON-lines reading and writing, with an error channel.
 
 All of the paper's corpora ship as newline-delimited JSON; these
-helpers stream them without materializing the file, tolerate blank
-lines, and surface the offending line number on parse errors.
+helpers stream them without materializing the file.  Real collections
+are dirty — truncated tails, byte-order marks, NUL bytes, nesting
+deeper than the parser's stack, garbage lines — and a single bad line
+must not abort a million-record run, so ingestion supports three
+``on_bad_record`` policies:
+
+* ``"raise"`` (default, the seed behaviour) — abort on the first
+  malformed line with a :class:`~repro.errors.DatasetError` naming the
+  line;
+* ``"skip"`` — drop malformed lines, recording each one's line number,
+  byte offset, and error in the :class:`IngestReport` (payloads are
+  not retained);
+* ``"collect"`` — like ``skip``, but additionally retain a truncated
+  copy of each bad line's payload for postmortems.
+
+Every read fills a per-file :class:`IngestReport`; pass your own to
+:func:`read_jsonlines` to observe it, or use :func:`ingest_jsonlines`
+to get ``(records, report)`` in one call.  Byte offsets are measured
+from the start of the (decompressed) stream; lines are read with
+newline translation disabled so offsets are exact even for CRLF files.
+
+Tolerated without counting as errors: blank lines, and a UTF-8 BOM at
+the start of the file.  Lines whose JSON is syntactically valid but
+abusive (e.g. nesting past the recursion limit) are treated as bad
+records rather than crashing the reader.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+from dataclasses import dataclass, field
 from pathlib import Path as FsPath
-from typing import IO, Iterable, Iterator, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import DatasetError
 from repro.jsontypes.types import JsonValue
 
 PathLike = Union[str, FsPath]
 
+#: The recognised ``on_bad_record`` policies.
+INGEST_POLICIES = ("raise", "skip", "collect")
 
-def _open_text(path: PathLike, mode: str) -> IO[str]:
+#: Longest bad-line payload retained under the ``collect`` policy.
+BAD_PAYLOAD_LIMIT = 160
+
+#: The UTF-8 byte-order mark, as decoded text.
+_BOM = "\ufeff"
+
+
+@dataclass(frozen=True)
+class BadRecord:
+    """One malformed line: where it was and why it failed."""
+
+    #: 1-based line number in the file.
+    line_number: int
+    #: Byte offset of the line's first byte in the decompressed stream.
+    byte_offset: int
+    #: What the parser objected to.
+    error: str
+    #: The offending line, truncated to :data:`BAD_PAYLOAD_LIMIT`
+    #: characters (empty under the ``skip`` policy, which does not
+    #: retain payloads).
+    payload: str = ""
+
+
+@dataclass
+class IngestReport:
+    """Per-file account of an ingestion run."""
+
+    path: str
+    policy: str = "raise"
+    #: Lines seen, including blank and malformed ones.
+    total_lines: int = 0
+    #: Well-formed records yielded.
+    record_count: int = 0
+    bad_records: List[BadRecord] = field(default_factory=list)
+
+    @property
+    def bad_count(self) -> int:
+        return len(self.bad_records)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every non-blank line parsed."""
+        return not self.bad_records
+
+    def bad_line_numbers(self) -> List[int]:
+        return [bad.line_number for bad in self.bad_records]
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.path}: {self.record_count} records, no bad lines"
+            )
+        positions = ", ".join(
+            str(number) for number in self.bad_line_numbers()[:8]
+        )
+        suffix = ", ..." if self.bad_count > 8 else ""
+        return (
+            f"{self.path}: {self.record_count} records, "
+            f"{self.bad_count} bad line(s) at {positions}{suffix}"
+        )
+
+
+def _open_text(path: PathLike, mode: str, newline: Optional[str] = None) -> IO[str]:
     path = FsPath(path)
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")
-    return open(path, mode, encoding="utf-8")
+        return gzip.open(path, mode + "t", encoding="utf-8", newline=newline)
+    return open(path, mode, encoding="utf-8", newline=newline)
 
 
-def read_jsonlines(path: PathLike) -> Iterator[JsonValue]:
-    """Stream records from a ``.jsonl`` (optionally ``.gz``) file."""
-    with _open_text(path, "r") as handle:
+def _check_policy(on_bad_record: str) -> None:
+    if on_bad_record not in INGEST_POLICIES:
+        known = ", ".join(INGEST_POLICIES)
+        raise DatasetError(
+            f"unknown on_bad_record policy {on_bad_record!r}; known: {known}"
+        )
+
+
+def read_jsonlines(
+    path: PathLike,
+    *,
+    on_bad_record: str = "raise",
+    report: Optional[IngestReport] = None,
+) -> Iterator[JsonValue]:
+    """Stream records from a ``.jsonl`` (optionally ``.gz``) file.
+
+    ``on_bad_record`` selects the error-channel policy (see module
+    docstring); pass an :class:`IngestReport` as ``report`` to observe
+    per-line accounting.  The report is filled incrementally as the
+    stream is consumed.
+    """
+    _check_policy(on_bad_record)
+    if report is None:
+        report = IngestReport(path=str(path), policy=on_bad_record)
+    else:
+        report.policy = on_bad_record
+    keep_payload = on_bad_record == "collect"
+    byte_offset = 0
+    # newline="" disables translation so offsets track raw bytes.
+    with _open_text(path, "r", newline="") as handle:
         for line_number, line in enumerate(handle, start=1):
+            line_offset = byte_offset
+            byte_offset += len(line.encode("utf-8"))
+            report.total_lines = line_number
+            if line_number == 1 and line.startswith(_BOM):
+                line = line[len(_BOM):]
             stripped = line.strip()
             if not stripped:
                 continue
             try:
-                yield json.loads(stripped)
-            except json.JSONDecodeError as exc:
-                raise DatasetError(
-                    f"{path}:{line_number}: invalid JSON: {exc}"
-                ) from exc
+                value = json.loads(stripped)
+            except (ValueError, RecursionError) as exc:
+                if on_bad_record == "raise":
+                    raise DatasetError(
+                        f"{path}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                report.bad_records.append(
+                    BadRecord(
+                        line_number=line_number,
+                        byte_offset=line_offset,
+                        error=f"{type(exc).__name__}: {exc}",
+                        payload=(
+                            stripped[:BAD_PAYLOAD_LIMIT] if keep_payload else ""
+                        ),
+                    )
+                )
+                _note_bad_record()
+                continue
+            report.record_count += 1
+            yield value
+
+
+def _note_bad_record() -> None:
+    # Lazy import: io must stay importable without the engine layer.
+    from repro.engine.instrument import counters
+
+    counters.add("ingest.bad_records")
+
+
+def ingest_jsonlines(
+    path: PathLike, *, on_bad_record: str = "skip"
+) -> Tuple[List[JsonValue], IngestReport]:
+    """Read a whole file under an error-channel policy.
+
+    Returns ``(records, report)``; with the default ``skip`` policy the
+    records are every well-formed line and the report pins down the
+    rest.
+    """
+    report = IngestReport(path=str(path), policy=on_bad_record)
+    records = list(
+        read_jsonlines(path, on_bad_record=on_bad_record, report=report)
+    )
+    return records, report
 
 
 def write_jsonlines(path: PathLike, records: Iterable[JsonValue]) -> int:
@@ -51,6 +209,6 @@ def write_jsonlines(path: PathLike, records: Iterable[JsonValue]) -> int:
     return count
 
 
-def load_jsonlines(path: PathLike) -> list:
+def load_jsonlines(path: PathLike, *, on_bad_record: str = "raise") -> list:
     """Read a whole ``.jsonl`` file into a list."""
-    return list(read_jsonlines(path))
+    return list(read_jsonlines(path, on_bad_record=on_bad_record))

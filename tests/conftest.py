@@ -2,10 +2,33 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
-from hypothesis import strategies as st
+from hypothesis import HealthCheck, settings, strategies as st
 
 from repro.datasets import FIGURE1_RECORDS
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis profiles.
+# ---------------------------------------------------------------------------
+
+#: CI runs with ``HYPOTHESIS_PROFILE=ci``: derandomized (the example
+#: sequence is a pure function of the test, so a red run reproduces
+#: locally from nothing but the log) and with a bounded example count
+#: so the process-backend jobs stay fast.  Per-test ``@settings``
+#: example counts still apply where they are lower.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,90 @@
+"""Regenerate the malformed-input fixture corpus.
+
+Run from the repository root::
+
+    python tests/robustness/fixtures/make_fixtures.py
+
+The files are checked in; this script exists so their exact bytes are
+reproducible and reviewable.  Each fixture exercises one class of
+real-world dirt; the expected per-file accounting lives in
+``tests/robustness/test_ingestion_policies.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _write(name: str, payload: bytes) -> None:
+    with open(os.path.join(HERE, name), "wb") as handle:
+        handle.write(payload)
+    print(f"wrote {name} ({len(payload)} bytes)")
+
+
+def main() -> None:
+    # A tail cut mid-record (a partial upload / interrupted writer);
+    # no trailing newline on the torn line.
+    _write(
+        "truncated.jsonl",
+        b'{"id": 1, "kind": "event"}\n'
+        b'{"id": 2, "kind": "event", "tags": ["a", "b"]}\n'
+        b'{"id": 3, "kind": "ev',
+    )
+
+    # A UTF-8 byte-order mark from a Windows export: every record is
+    # well-formed once the BOM is tolerated.
+    _write(
+        "bom.jsonl",
+        b'\xef\xbb\xbf{"id": 1, "name": "alpha"}\n'
+        b'{"id": 2, "name": "beta"}\n',
+    )
+
+    # NUL bytes: a pure-NUL line and a record with a raw (unescaped)
+    # NUL inside a string literal — both rejected by a strict parser.
+    _write(
+        "nul_bytes.jsonl",
+        b'{"id": 1, "ok": true}\n'
+        b"\x00\x00\x00\x00\n"
+        b'{"id": 2, "name": "a\x00b"}\n'
+        b'{"id": 3, "ok": true}\n',
+    )
+
+    # Nesting far past any sane recursion limit (a zip-bomb analogue):
+    # the parser must fail on the line, not crash the process.
+    depth = 100_000
+    _write(
+        "deep_nesting.jsonl",
+        b'{"id": 1}\n'
+        + b"[" * depth
+        + b"1"
+        + b"]" * depth
+        + b"\n"
+        + b'{"id": 2}\n',
+    )
+
+    # Duplicate keys are *well-formed* JSON (RFC 8259 leaves semantics
+    # to the parser); Python keeps the last binding.  Nothing here is
+    # a bad record.
+    _write(
+        "duplicate_keys.jsonl",
+        b'{"id": 1, "id": 2, "name": "first"}\n'
+        b'{"a": {"x": 1, "x": 2}, "a": {"x": 3}}\n'
+        b'{"id": 3}\n',
+    )
+
+    # Assorted dirt: blank lines, prose, CRLF line endings, a stray
+    # single-quoted almost-JSON line.
+    _write(
+        "mixed_garbage.jsonl",
+        b'{"id": 1}\r\n'
+        b"\r\n"
+        b"this line is prose, not JSON\r\n"
+        b"{'id': 2}\r\n"
+        b'{"id": 3}\r\n',
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Round-trip soundness of admission (§2 Definition 1).
+
+Two properties over hypothesis-generated schemas and values:
+
+* **Sampling soundness** — every value :func:`sample_value` draws from
+  a schema is admitted by that schema (the sampler inverts the
+  validator);
+* **Admission agreement** — for any value ``v``,
+  ``schema.admits_value(v)`` and ``schema.admits_type(type_of(v))``
+  give the same answer: admission is a property of the value's *type*,
+  with no subclass shortcutting the type-level definition.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.types import type_of
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    ObjectCollection,
+    ObjectTuple,
+    PRIMITIVE_SCHEMAS,
+    Union,
+    union,
+)
+from repro.schema.sample import sample_value, sample_values
+
+from tests.conftest import json_values
+
+
+field_names = st.text(alphabet="abcdef_", min_size=1, max_size=5)
+
+primitive_schemas = st.sampled_from(
+    [PRIMITIVE_SCHEMAS[kind] for kind in (
+        Kind.NULL, Kind.BOOLEAN, Kind.NUMBER, Kind.STRING,
+    )]
+)
+
+
+def _object_tuple(children):
+    return st.tuples(
+        st.dictionaries(field_names, children, max_size=3),
+        st.dictionaries(field_names, children, max_size=3),
+    ).map(
+        lambda pair: ObjectTuple(
+            pair[0],
+            {k: v for k, v in pair[1].items() if k not in pair[0]},
+        )
+    )
+
+
+def _array_tuple(children):
+    return st.tuples(
+        st.lists(children, max_size=3),
+        st.integers(min_value=0, max_value=3),
+    ).map(
+        lambda pair: ArrayTuple(
+            pair[0], min_length=min(pair[1], len(pair[0]))
+        )
+    )
+
+
+def _array_collection(children):
+    return st.tuples(
+        children, st.integers(min_value=0, max_value=4)
+    ).map(lambda pair: ArrayCollection(pair[0], max_length_seen=pair[1]))
+
+
+def _object_collection(children):
+    return st.tuples(
+        children,
+        st.frozensets(field_names, max_size=4),
+    ).map(lambda pair: ObjectCollection(pair[0], domain=pair[1]))
+
+
+def _union(children):
+    return st.lists(children, min_size=1, max_size=3).map(
+        lambda branches: union(*branches)
+    )
+
+
+#: Arbitrary non-empty schemas (NEVER is excluded: nothing to sample).
+schemas = st.recursive(
+    primitive_schemas,
+    lambda children: st.one_of(
+        _object_tuple(children),
+        _array_tuple(children),
+        _array_collection(children),
+        _object_collection(children),
+        _union(children),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(schema=schemas, seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_every_sampled_value_is_admitted(schema, seed):
+    value = sample_value(schema, random.Random(seed))
+    assert schema.admits_value(value), (schema, value)
+
+
+@settings(max_examples=50, deadline=None)
+@given(schema=schemas, seed=st.integers(min_value=0, max_value=10_000))
+def test_sample_values_batch_is_admitted_and_deterministic(schema, seed):
+    batch = sample_values(schema, 5, seed=seed)
+    again = sample_values(schema, 5, seed=seed)
+    assert batch == again
+    assert all(schema.admits_value(value) for value in batch)
+
+
+@settings(max_examples=150, deadline=None)
+@given(schema=schemas, value=json_values(max_leaves=10))
+def test_admits_value_agrees_with_admits_type(schema, value):
+    assert schema.admits_value(value) == schema.admits_type(type_of(value))
+
+
+@settings(max_examples=75, deadline=None)
+@given(schema=schemas, seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_union_branches_admit_their_own_samples(schema, seed):
+    """A union admits whatever any branch admits — sampled evidence."""
+    wrapped = union(schema, PRIMITIVE_SCHEMAS[Kind.NULL])
+    value = sample_value(schema, random.Random(seed))
+    assert wrapped.admits_value(value)
+    if isinstance(wrapped, Union):
+        assert wrapped.admits_value(None)
