@@ -48,7 +48,12 @@ def _build_parser() -> argparse.ArgumentParser:
     discover = sub.add_parser(
         "discover", help="extract a schema from a JSON-lines file"
     )
-    discover.add_argument("input", help="path to a .jsonl file")
+    discover.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="path to a .jsonl file (optional with --resume)",
+    )
     discover.add_argument(
         "--algorithm",
         default="bimax-merge",
@@ -86,6 +91,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default="raise",
         help="malformed input lines: abort (raise), drop them (skip), "
         "or drop and report payloads (collect)",
+    )
+    discover.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="save the discovery state here after the run "
+        "(resume later with --resume)",
+    )
+    discover.add_argument(
+        "--resume", action="store_true",
+        help="load the state from --checkpoint and continue from it "
+        "instead of starting fresh",
+    )
+    discover.add_argument(
+        "--append", action="append", default=[], metavar="FILE",
+        help="absorb this additional .jsonl file into the state "
+        "(repeatable)",
     )
 
     validate = sub.add_parser(
@@ -166,12 +186,7 @@ def _read_input(path: str, on_bad_record: str) -> list:
     return records
 
 
-def _cmd_discover(args: argparse.Namespace) -> int:
-    records = _read_input(args.input, args.on_bad_record)
-    if not records:
-        print("error: input contains no records", file=sys.stderr)
-        return 2
-    discoverer = make_discoverer(args.algorithm)
+def _discover_overrides(args: argparse.Namespace) -> dict:
     overrides = {}
     if args.threshold is not None:
         overrides["entropy_threshold"] = args.threshold
@@ -182,6 +197,36 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     if args.no_collections:
         overrides["detect_object_collections"] = False
         overrides["detect_array_tuples"] = False
+    return overrides
+
+
+def _emit_schema(schema, args: argparse.Namespace) -> None:
+    if args.format == "json":
+        text = json.dumps(to_json_schema(schema), indent=2, sort_keys=True)
+    else:
+        text = render(schema)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    overrides = _discover_overrides(args)
+    if args.checkpoint or args.resume or args.append:
+        return _cmd_discover_incremental(args, overrides)
+    if args.input is None:
+        print(
+            "error: discover needs an input file (or --resume)",
+            file=sys.stderr,
+        )
+        return 2
+    records = _read_input(args.input, args.on_bad_record)
+    if not records:
+        print("error: input contains no records", file=sys.stderr)
+        return 2
+    discoverer = make_discoverer(args.algorithm)
     if overrides:
         if not hasattr(discoverer, "config"):
             print(
@@ -192,15 +237,62 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             return 2
         discoverer.config = discoverer.config.with_(**overrides)
     schema = discoverer.discover(records)
-    if args.format == "json":
-        text = json.dumps(to_json_schema(schema), indent=2, sort_keys=True)
+    _emit_schema(schema, args)
+    return 0
+
+
+def _cmd_discover_incremental(
+    args: argparse.Namespace, overrides: dict
+) -> int:
+    """Stateful discovery: checkpoint after the run, resume, append."""
+    from repro.discovery import (
+        JxplainConfig,
+        load_state,
+        save_state,
+        state_for_algorithm,
+    )
+    from repro.errors import CheckpointError, EmptyInputError
+
+    if args.resume:
+        if not args.checkpoint:
+            print("error: --resume requires --checkpoint", file=sys.stderr)
+            return 2
+        if overrides:
+            print(
+                "error: --threshold/--strategy options cannot change a "
+                "resumed state; they were fixed when it was created",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            state = load_state(args.checkpoint)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:
-        text = render(schema)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-    else:
-        print(text)
+        try:
+            config = None
+            if overrides:
+                config = JxplainConfig().with_(**overrides)
+            state = state_for_algorithm(args.algorithm, config)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    sources = [args.input] if args.input else []
+    sources.extend(args.append)
+    for source in sources:
+        state.absorb_many(_read_input(source, args.on_bad_record))
+    if state.record_count == 0:
+        print("error: input contains no records", file=sys.stderr)
+        return 2
+    try:
+        schema = state.synthesize()
+    except EmptyInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.checkpoint:
+        save_state(state, args.checkpoint)
+    _emit_schema(schema, args)
     return 0
 
 

@@ -7,7 +7,12 @@
   (§4.1, Algorithm 4);
 * :mod:`repro.discovery.pipeline` — the staged three-pass JXPLAIN
   (§4.2, Figure 3) over the dataflow engine;
-* :mod:`repro.discovery.fold` — pass ③ as an associative fold.
+* :mod:`repro.discovery.fold` — pass ③ as an associative fold;
+* :mod:`repro.discovery.state` — the serializable, mergeable
+  :class:`DiscoveryState` monoid every algorithm synthesizes from,
+  with checkpoint save/load;
+* :mod:`repro.discovery.codec` — the versioned binary wire format of
+  states and their constituents.
 """
 
 from repro.discovery.base import (
@@ -52,6 +57,15 @@ from repro.discovery.pipeline import (
     TupleShapes,
     build_partitioners,
 )
+from repro.discovery.state import (
+    DiscoveryState,
+    JxplainState,
+    KReduceState,
+    LReduceState,
+    load_state,
+    save_state,
+    state_for_algorithm,
+)
 from repro.discovery.streaming import StreamingJxplain, StreamingKReduce
 from repro.discovery.stat_tree import (
     CollectionDecisions,
@@ -69,17 +83,21 @@ __all__ = [
     "CollectionDecisions",
     "DecidedFolder",
     "Discoverer",
+    "DiscoveryState",
     "EntityStrategy",
     "FoldNode",
     "FunctionDiscoverer",
     "Jxplain",
     "JxplainConfig",
+    "JxplainState",
     "RobustnessConfig",
     "JxplainMerger",
     "JxplainNaive",
     "JxplainPipeline",
     "KReduce",
+    "KReduceState",
     "LReduce",
+    "LReduceState",
     "PathEntropy",
     "PipelineMerger",
     "PipelineResult",
@@ -96,6 +114,7 @@ __all__ = [
     "find_coreferences",
     "unify_coreferences",
     "jxplain_merge",
+    "load_state",
     "make_discoverer",
     "merge_array_coll",
     "merge_k",
@@ -103,4 +122,6 @@ __all__ = [
     "merge_naive",
     "merge_object_tuple",
     "register_discoverer",
+    "save_state",
+    "state_for_algorithm",
 ]

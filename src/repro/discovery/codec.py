@@ -1,0 +1,978 @@
+"""Versioned, deterministic binary serialization of discovery state.
+
+Every constituent of a :class:`~repro.discovery.state.DiscoveryState`
+— counted bags, :class:`~repro.jsontypes.types.JsonType`\\ s, schemas,
+stat trees, tuple shapes, fold nodes, collection decisions, entity
+clusters and key-set universes — has a codec here, so partial states
+can cross the executor boundary (and checkpoint files) in a compact
+wire form instead of as pickled live objects.
+
+Design:
+
+* Every payload starts with a fixed header: magic ``RDSC``, a codec
+  version (uvarint), and a payload-kind string.  Decoding a payload of
+  the wrong kind or version fails loudly
+  (:class:`~repro.errors.StateCodecError`), never silently.
+* Each payload carries a **type pool**: a table of the distinct
+  :class:`JsonType` nodes it references, written bottom-up so every
+  row only points at earlier rows.  The body then refers to types by
+  pool id.  Decoding rebuilds each node bottom-up and re-interns it
+  through :func:`~repro.jsontypes.types.intern_type`, so decoded types
+  are pointer-equal to their live counterparts whenever interning is
+  on.
+* Encoding is **deterministic**: unordered containers (sets, hash
+  dicts) are written in a canonical sort order, while containers whose
+  iteration order is semantic (a counted bag's first-occurrence order,
+  a union's branch order, a cluster's member order) are written in
+  that order.  Equal states therefore produce equal bytes, which is
+  what lets state equality be byte equality and lets the chaos tests
+  assert byte-identical schemas across resume boundaries.
+
+Integers use LEB128 (``uvarint``; zig-zag ``svarint`` where signs can
+occur), floats use little-endian IEEE-754 doubles, and strings are
+length-prefixed UTF-8.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.discovery.config import EntityStrategy, FeatureMode, JxplainConfig
+from repro.discovery.fold import (
+    ArrayCollAcc,
+    ArrayEntityAcc,
+    FoldNode,
+    ObjectCollAcc,
+    ObjectEntityAcc,
+)
+from repro.discovery.stat_tree import CollectionDecisions, StatTree
+from repro.entities.bimax import EntityCluster
+from repro.entities.keyset import KeySetUniverse
+from repro.errors import StateCodecError
+from repro.heuristics.collection import CollectionEvidence, Designation
+from repro.jsontypes.bag import CountedBag, ListBag, TypeBag
+from repro.jsontypes.kinds import Kind
+from repro.jsontypes.paths import Path, STAR
+from repro.jsontypes.similarity import SimilarityAccumulator
+from repro.jsontypes.types import (
+    ArrayType,
+    JsonType,
+    ObjectType,
+    PRIMITIVES,
+    PrimitiveType,
+    intern_type,
+)
+from repro.schema.nodes import (
+    ArrayCollection,
+    ArrayTuple,
+    NEVER,
+    ObjectCollection,
+    ObjectTuple,
+    PRIMITIVE_SCHEMAS,
+    PrimitiveSchema,
+    Schema,
+    Union,
+)
+
+#: Header magic of every payload ("Repro Discovery State Codec").
+MAGIC = b"RDSC"
+
+#: Bumped whenever the wire format changes incompatibly.
+CODEC_VERSION = 1
+
+#: Fixed kind numbering shared by every codec below.
+_KIND_ORDER: Tuple[Kind, ...] = (
+    Kind.BOOLEAN,
+    Kind.NUMBER,
+    Kind.STRING,
+    Kind.NULL,
+    Kind.OBJECT,
+    Kind.ARRAY,
+)
+_KIND_TAG: Dict[Kind, int] = {kind: tag for tag, kind in enumerate(_KIND_ORDER)}
+
+_DESIGNATION_ORDER = (Designation.TUPLE, Designation.COLLECTION)
+_DESIGNATION_TAG = {d: tag for tag, d in enumerate(_DESIGNATION_ORDER)}
+
+
+# -- primitive writer / reader ------------------------------------------------
+
+
+class _Writer:
+    """Append-only byte buffer with the codec's primitive encodings."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def uvarint(self, value: int) -> None:
+        if value < 0:
+            raise StateCodecError(f"uvarint cannot encode {value}")
+        buf = self._buf
+        while value >= 0x80:
+            buf.append((value & 0x7F) | 0x80)
+            value >>= 7
+        buf.append(value)
+
+    def svarint(self, value: int) -> None:
+        # Zig-zag: small magnitudes of either sign stay small.
+        self.uvarint((value << 1) ^ (value >> 63) if value >= 0 else (
+            ((-value) << 1) - 1
+        ))
+
+    def boolean(self, value: bool) -> None:
+        self._buf.append(1 if value else 0)
+
+    def float64(self, value: float) -> None:
+        self._buf += struct.pack("<d", value)
+
+    def string(self, value: str) -> None:
+        encoded = value.encode("utf-8")
+        self.uvarint(len(encoded))
+        self._buf += encoded
+
+    def raw(self, data: bytes) -> None:
+        self._buf += data
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class _Reader:
+    """Bounds-checked counterpart of :class:`_Writer`."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self._data = data
+        self._pos = pos
+
+    def _take(self, size: int) -> bytes:
+        end = self._pos + size
+        if end > len(self._data):
+            raise StateCodecError("truncated payload")
+        chunk = self._data[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def uvarint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self._take(1)[0]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise StateCodecError("malformed uvarint")
+
+    def svarint(self) -> int:
+        raw = self.uvarint()
+        return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+    def boolean(self) -> bool:
+        byte = self._take(1)[0]
+        if byte not in (0, 1):
+            raise StateCodecError(f"malformed boolean byte {byte}")
+        return byte == 1
+
+    def float64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def string(self) -> str:
+        size = self.uvarint()
+        return self._take(size).decode("utf-8")
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+
+# -- the JsonType pool --------------------------------------------------------
+#
+# Type rows: 0..3 = the primitive singletons (in _KIND_ORDER order),
+# 4 = object (field count, then (key, child id) pairs in the type's own
+# sorted-field order), 5 = array (element count, then child ids).
+
+_PRIM_ROW_TAG = {
+    Kind.BOOLEAN: 0,
+    Kind.NUMBER: 1,
+    Kind.STRING: 2,
+    Kind.NULL: 3,
+}
+_PRIM_BY_ROW_TAG = {
+    tag: PRIMITIVES[kind] for kind, tag in _PRIM_ROW_TAG.items()
+}
+
+
+class _TypePool:
+    """Assigns pool ids to types, children before parents."""
+
+    __slots__ = ("_ids", "_rows")
+
+    def __init__(self) -> None:
+        self._ids: Dict[JsonType, int] = {}
+        self._rows: List[bytes] = []
+
+    def add(self, tau: JsonType) -> int:
+        existing = self._ids.get(tau)
+        if existing is not None:
+            return existing
+        row = _Writer()
+        if isinstance(tau, PrimitiveType):
+            row.uvarint(_PRIM_ROW_TAG[tau.kind])
+        elif isinstance(tau, ObjectType):
+            child_ids = [(key, self.add(value)) for key, value in tau.fields]
+            row.uvarint(4)
+            row.uvarint(len(child_ids))
+            for key, child_id in child_ids:
+                row.string(key)
+                row.uvarint(child_id)
+        elif isinstance(tau, ArrayType):
+            child_ids = [self.add(value) for value in tau.elements]
+            row.uvarint(5)
+            row.uvarint(len(child_ids))
+            for child_id in child_ids:
+                row.uvarint(child_id)
+        else:
+            raise StateCodecError(f"not a JSON type: {tau!r}")
+        # Children registered themselves during recursion; this node's
+        # id is whatever slot comes next (strictly after its children).
+        type_id = len(self._rows)
+        self._rows.append(row.getvalue())
+        self._ids[tau] = type_id
+        return type_id
+
+    def write_table(self, out: _Writer) -> None:
+        out.uvarint(len(self._rows))
+        for row in self._rows:
+            out.raw(row)
+
+
+def _read_type_table(reader: _Reader) -> List[JsonType]:
+    count = reader.uvarint()
+    types: List[JsonType] = []
+    for _ in range(count):
+        tag = reader.uvarint()
+        if tag in _PRIM_BY_ROW_TAG:
+            types.append(_PRIM_BY_ROW_TAG[tag])
+            continue
+        if tag == 4:
+            fields = {}
+            for _ in range(reader.uvarint()):
+                key = reader.string()
+                child_id = reader.uvarint()
+                if child_id >= len(types):
+                    raise StateCodecError("type row references later row")
+                fields[key] = types[child_id]
+            types.append(intern_type(ObjectType(fields)))
+            continue
+        if tag == 5:
+            elements = []
+            for _ in range(reader.uvarint()):
+                child_id = reader.uvarint()
+                if child_id >= len(types):
+                    raise StateCodecError("type row references later row")
+                elements.append(types[child_id])
+            types.append(intern_type(ArrayType(tuple(elements))))
+            continue
+        raise StateCodecError(f"unknown type-row tag {tag}")
+    return types
+
+
+# -- encoder / decoder --------------------------------------------------------
+
+
+class Encoder:
+    """Accumulates a payload body plus the type pool it references.
+
+    ``blob`` redirects writes into a temporary buffer and returns its
+    bytes — the mechanism behind canonical (sorted-by-encoding) output
+    for unordered containers.  Pool ids are assigned at encode time and
+    are unaffected by blob reordering, so sorting blobs never perturbs
+    the table.
+    """
+
+    def __init__(self) -> None:
+        self._pool = _TypePool()
+        self._stack: List[_Writer] = [_Writer()]
+
+    @property
+    def w(self) -> _Writer:
+        return self._stack[-1]
+
+    def type_ref(self, tau: JsonType) -> None:
+        self.w.uvarint(self._pool.add(tau))
+
+    def blob(self, write_fn: Callable, *args) -> bytes:
+        self._stack.append(_Writer())
+        write_fn(self, *args)
+        return self._stack.pop().getvalue()
+
+    def sorted_blobs(self, items: Iterable, write_fn: Callable) -> None:
+        """Write ``items`` canonically: count, then the items' encodings
+        in ascending byte order."""
+        blobs = sorted(self.blob(write_fn, item) for item in items)
+        self.w.uvarint(len(blobs))
+        for blob in blobs:
+            self.w.raw(blob)
+
+    def finish(self, kind: str) -> bytes:
+        if len(self._stack) != 1:
+            raise StateCodecError("unbalanced blob encoding")
+        head = _Writer()
+        head.raw(MAGIC)
+        head.uvarint(CODEC_VERSION)
+        head.string(kind)
+        self._pool.write_table(head)
+        head.raw(self._stack[0].getvalue())
+        return head.getvalue()
+
+
+class Decoder:
+    """Parses a payload header + type table and exposes the body."""
+
+    def __init__(self, data: bytes, expect_kind: Optional[str] = None):
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise StateCodecError(
+                f"payload must be bytes, got {type(data).__name__}"
+            )
+        data = bytes(data)
+        if data[:4] != MAGIC:
+            raise StateCodecError("bad magic: not a discovery-state payload")
+        reader = _Reader(data, 4)
+        version = reader.uvarint()
+        if version != CODEC_VERSION:
+            raise StateCodecError(
+                f"unsupported codec version {version} "
+                f"(this build reads version {CODEC_VERSION})"
+            )
+        self.kind = reader.string()
+        if expect_kind is not None and self.kind != expect_kind:
+            raise StateCodecError(
+                f"payload kind mismatch: expected {expect_kind!r}, "
+                f"got {self.kind!r}"
+            )
+        self.types = _read_type_table(reader)
+        self.r = reader
+
+    def type_ref(self) -> JsonType:
+        type_id = self.r.uvarint()
+        if type_id >= len(self.types):
+            raise StateCodecError(f"dangling type reference {type_id}")
+        return self.types[type_id]
+
+    def finish(self) -> None:
+        if not self.r.exhausted:
+            raise StateCodecError("trailing bytes after payload body")
+
+
+def _dumps(kind: str, write_fn: Callable, value) -> bytes:
+    enc = Encoder()
+    write_fn(enc, value)
+    return enc.finish(kind)
+
+
+def _loads(kind: str, read_fn: Callable, data: bytes):
+    dec = Decoder(data, expect_kind=kind)
+    value = read_fn(dec)
+    dec.finish()
+    return value
+
+
+# -- small shared pieces ------------------------------------------------------
+
+
+def _write_kind(enc: Encoder, kind: Kind) -> None:
+    enc.w.uvarint(_KIND_TAG[kind])
+
+
+def _read_kind(dec: Decoder) -> Kind:
+    tag = dec.r.uvarint()
+    if tag >= len(_KIND_ORDER):
+        raise StateCodecError(f"unknown kind tag {tag}")
+    return _KIND_ORDER[tag]
+
+
+def _write_opt_uvarint(enc: Encoder, value: Optional[int]) -> None:
+    enc.w.boolean(value is not None)
+    if value is not None:
+        enc.w.uvarint(value)
+
+
+def _read_opt_uvarint(dec: Decoder) -> Optional[int]:
+    return dec.r.uvarint() if dec.r.boolean() else None
+
+
+def write_path(enc: Encoder, path: Path) -> None:
+    enc.w.uvarint(len(path))
+    for step in path:
+        if step is STAR:
+            enc.w.uvarint(2)
+        elif isinstance(step, str):
+            enc.w.uvarint(0)
+            enc.w.string(step)
+        elif isinstance(step, int):
+            enc.w.uvarint(1)
+            enc.w.uvarint(step)
+        else:
+            raise StateCodecError(f"unknown path step {step!r}")
+
+
+def read_path(dec: Decoder) -> Path:
+    steps: list = []
+    for _ in range(dec.r.uvarint()):
+        tag = dec.r.uvarint()
+        if tag == 0:
+            steps.append(dec.r.string())
+        elif tag == 1:
+            steps.append(dec.r.uvarint())
+        elif tag == 2:
+            steps.append(STAR)
+        else:
+            raise StateCodecError(f"unknown path-step tag {tag}")
+    return tuple(steps)
+
+
+def _write_feature(enc: Encoder, feature) -> None:
+    """One key-set member: a plain key (str) or a path (tuple)."""
+    if isinstance(feature, str):
+        enc.w.uvarint(0)
+        enc.w.string(feature)
+    elif isinstance(feature, tuple):
+        enc.w.uvarint(1)
+        write_path(enc, feature)
+    else:
+        raise StateCodecError(f"unknown feature element {feature!r}")
+
+
+def _read_feature(dec: Decoder):
+    tag = dec.r.uvarint()
+    if tag == 0:
+        return dec.r.string()
+    if tag == 1:
+        return read_path(dec)
+    raise StateCodecError(f"unknown feature tag {tag}")
+
+
+def _write_key_set(enc: Encoder, key_set) -> None:
+    enc.sorted_blobs(key_set, _write_feature)
+
+
+def _read_key_set(dec: Decoder) -> frozenset:
+    return frozenset(_read_feature(dec) for _ in range(dec.r.uvarint()))
+
+
+# -- schemas ------------------------------------------------------------------
+#
+# Tags: 0 NEVER, 1 primitive, 2 ObjectTuple, 3 ArrayTuple,
+# 4 ArrayCollection, 5 ObjectCollection, 6 Union.  Union branch order
+# is preserved (it is the presentation order the renderer shows), as
+# are the sorted field tuples ObjectTuple stores.
+
+
+def write_schema(enc: Encoder, schema: Schema) -> None:
+    if schema is NEVER:
+        enc.w.uvarint(0)
+    elif isinstance(schema, PrimitiveSchema):
+        enc.w.uvarint(1)
+        _write_kind(enc, schema.kind)
+    elif isinstance(schema, ObjectTuple):
+        enc.w.uvarint(2)
+        for fields in (schema.required, schema.optional):
+            enc.w.uvarint(len(fields))
+            for key, child in fields:
+                enc.w.string(key)
+                write_schema(enc, child)
+    elif isinstance(schema, ArrayTuple):
+        enc.w.uvarint(3)
+        enc.w.uvarint(len(schema.elements))
+        for child in schema.elements:
+            write_schema(enc, child)
+        enc.w.uvarint(schema.min_length)
+    elif isinstance(schema, ArrayCollection):
+        enc.w.uvarint(4)
+        write_schema(enc, schema.element)
+        enc.w.uvarint(schema.max_length_seen)
+    elif isinstance(schema, ObjectCollection):
+        enc.w.uvarint(5)
+        write_schema(enc, schema.value)
+        enc.sorted_blobs(
+            schema.domain, lambda e, key: e.w.string(key)
+        )
+    elif isinstance(schema, Union):
+        enc.w.uvarint(6)
+        enc.w.uvarint(len(schema.branches))
+        for branch in schema.branches:
+            write_schema(enc, branch)
+    else:
+        raise StateCodecError(f"unknown schema node {schema!r}")
+
+
+def read_schema(dec: Decoder) -> Schema:
+    tag = dec.r.uvarint()
+    if tag == 0:
+        return NEVER
+    if tag == 1:
+        return PRIMITIVE_SCHEMAS[_read_kind(dec)]
+    if tag == 2:
+        required = {
+            dec.r.string(): read_schema(dec)
+            for _ in range(dec.r.uvarint())
+        }
+        optional = {
+            dec.r.string(): read_schema(dec)
+            for _ in range(dec.r.uvarint())
+        }
+        return ObjectTuple(required, optional)
+    if tag == 3:
+        elements = [read_schema(dec) for _ in range(dec.r.uvarint())]
+        return ArrayTuple(elements, dec.r.uvarint())
+    if tag == 4:
+        element = read_schema(dec)
+        return ArrayCollection(element, max_length_seen=dec.r.uvarint())
+    if tag == 5:
+        value = read_schema(dec)
+        domain = frozenset(
+            dec.r.string() for _ in range(dec.r.uvarint())
+        )
+        return ObjectCollection(value, domain)
+    if tag == 6:
+        return Union([read_schema(dec) for _ in range(dec.r.uvarint())])
+    raise StateCodecError(f"unknown schema tag {tag}")
+
+
+# -- counted bags -------------------------------------------------------------
+#
+# First-occurrence order is SEMANTIC (it fixes primitive branch order
+# and cluster discovery order downstream), so entries are written in
+# iteration order, never sorted.
+
+
+def write_bag(enc: Encoder, bag: TypeBag) -> None:
+    enc.w.boolean(isinstance(bag, ListBag))
+    enc.w.uvarint(bag.distinct_count)
+    for tau, count in bag.items():
+        enc.type_ref(tau)
+        enc.w.uvarint(count)
+
+
+def read_bag(dec: Decoder) -> TypeBag:
+    bag: TypeBag = ListBag() if dec.r.boolean() else CountedBag()
+    for _ in range(dec.r.uvarint()):
+        tau = dec.type_ref()
+        bag.add(tau, dec.r.uvarint())
+    return bag
+
+
+# -- collection evidence ------------------------------------------------------
+
+
+def _write_similarity(enc: Encoder, acc: SimilarityAccumulator) -> None:
+    _write_opt_uvarint(enc, acc.max_depth)
+    enc.w.boolean(acc.all_similar)
+    enc.w.uvarint(acc.count)
+    enc.w.boolean(acc.maximal is not None)
+    if acc.maximal is not None:
+        enc.type_ref(acc.maximal)
+
+
+def _read_similarity(dec: Decoder) -> SimilarityAccumulator:
+    acc = SimilarityAccumulator(_read_opt_uvarint(dec))
+    acc.all_similar = dec.r.boolean()
+    acc.count = dec.r.uvarint()
+    if dec.r.boolean():
+        acc.maximal = dec.type_ref()
+    return acc
+
+
+def write_evidence(enc: Encoder, evidence: CollectionEvidence) -> None:
+    _write_kind(enc, evidence.kind)
+    enc.w.uvarint(evidence.record_count)
+    enc.w.uvarint(len(evidence.key_counts))
+    for key in sorted(evidence.key_counts):
+        enc.w.string(key)
+        enc.w.uvarint(evidence.key_counts[key])
+    enc.w.uvarint(len(evidence.length_counts))
+    for length in sorted(evidence.length_counts):
+        enc.w.uvarint(length)
+        enc.w.uvarint(evidence.length_counts[length])
+    enc.w.boolean(evidence.mixed_kinds)
+    _write_similarity(enc, evidence.similarity)
+
+
+def read_evidence(dec: Decoder) -> CollectionEvidence:
+    evidence = CollectionEvidence(_read_kind(dec))
+    evidence.record_count = dec.r.uvarint()
+    for _ in range(dec.r.uvarint()):
+        key = dec.r.string()
+        evidence.key_counts[key] = dec.r.uvarint()
+    for _ in range(dec.r.uvarint()):
+        length = dec.r.uvarint()
+        evidence.length_counts[length] = dec.r.uvarint()
+    evidence.mixed_kinds = dec.r.boolean()
+    evidence.similarity = _read_similarity(dec)
+    return evidence
+
+
+def _write_opt(enc: Encoder, value, write_fn: Callable) -> None:
+    enc.w.boolean(value is not None)
+    if value is not None:
+        write_fn(enc, value)
+
+
+def _read_opt(dec: Decoder, read_fn: Callable):
+    return read_fn(dec) if dec.r.boolean() else None
+
+
+# -- stat trees ---------------------------------------------------------------
+
+
+def _step_sort_key(step):
+    # str steps before int steps; comparable within each group.
+    return (1, step, "") if isinstance(step, int) else (0, 0, step)
+
+
+def write_stat_tree(enc: Encoder, tree: StatTree) -> None:
+    _write_opt_uvarint(enc, tree.similarity_depth)
+    kinds = sorted(tree.primitive_kinds, key=_KIND_TAG.__getitem__)
+    enc.w.uvarint(len(kinds))
+    for kind in kinds:
+        _write_kind(enc, kind)
+        enc.w.uvarint(tree.primitive_kinds[kind])
+    _write_opt(enc, tree.object_evidence, write_evidence)
+    _write_opt(enc, tree.array_evidence, write_evidence)
+    steps = sorted(tree.children, key=_step_sort_key)
+    enc.w.uvarint(len(steps))
+    for step in steps:
+        if isinstance(step, str):
+            enc.w.uvarint(0)
+            enc.w.string(step)
+        else:
+            enc.w.uvarint(1)
+            enc.w.uvarint(step)
+        write_stat_tree(enc, tree.children[step])
+
+
+def read_stat_tree(dec: Decoder) -> StatTree:
+    tree = StatTree(similarity_depth=_read_opt_uvarint(dec))
+    for _ in range(dec.r.uvarint()):
+        kind = _read_kind(dec)
+        tree.primitive_kinds[kind] = dec.r.uvarint()
+    tree.object_evidence = _read_opt(dec, read_evidence)
+    tree.array_evidence = _read_opt(dec, read_evidence)
+    for _ in range(dec.r.uvarint()):
+        tag = dec.r.uvarint()
+        if tag == 0:
+            step = dec.r.string()
+        elif tag == 1:
+            step = dec.r.uvarint()
+        else:
+            raise StateCodecError(f"unknown stat-tree step tag {tag}")
+        tree.children[step] = read_stat_tree(dec)
+    return tree
+
+
+# -- tuple shapes (pass ②'s accumulator) --------------------------------------
+
+
+def write_tuple_shapes(enc: Encoder, shapes) -> None:
+    def write_object_entry(e: Encoder, entry) -> None:
+        path, feature_sets = entry
+        write_path(e, path)
+        e.sorted_blobs(feature_sets, _write_key_set)
+
+    def write_array_entry(e: Encoder, entry) -> None:
+        path, lengths = entry
+        write_path(e, path)
+        e.w.uvarint(len(lengths))
+        for length in sorted(lengths):
+            e.w.uvarint(length)
+
+    enc.sorted_blobs(shapes.object_features.items(), write_object_entry)
+    enc.sorted_blobs(shapes.array_lengths.items(), write_array_entry)
+
+
+def read_tuple_shapes(dec: Decoder):
+    from repro.discovery.pipeline import TupleShapes
+
+    shapes = TupleShapes()
+    for _ in range(dec.r.uvarint()):
+        path = read_path(dec)
+        shapes.object_features[path] = {
+            _read_key_set(dec) for _ in range(dec.r.uvarint())
+        }
+    for _ in range(dec.r.uvarint()):
+        path = read_path(dec)
+        shapes.array_lengths[path] = {
+            dec.r.uvarint() for _ in range(dec.r.uvarint())
+        }
+    return shapes
+
+
+# -- fold nodes (pass ③'s accumulator) ----------------------------------------
+
+
+def write_fold_node(enc: Encoder, node: FoldNode) -> None:
+    kinds = sorted(node.primitive_kinds, key=_KIND_TAG.__getitem__)
+    enc.w.uvarint(len(kinds))
+    for kind in kinds:
+        _write_kind(enc, kind)
+    enc.w.uvarint(len(node.object_entities))
+    for entity in sorted(node.object_entities):
+        acc = node.object_entities[entity]
+        enc.w.uvarint(entity)
+        enc.w.uvarint(len(acc.required))
+        for key in sorted(acc.required):
+            enc.w.string(key)
+        enc.w.uvarint(len(acc.fields))
+        for key in sorted(acc.fields):
+            enc.w.string(key)
+            write_fold_node(enc, acc.fields[key])
+    enc.w.boolean(node.object_collection is not None)
+    if node.object_collection is not None:
+        coll = node.object_collection
+        _write_opt(enc, coll.value, write_fold_node)
+        enc.w.uvarint(len(coll.domain))
+        for key in sorted(coll.domain):
+            enc.w.string(key)
+    enc.w.uvarint(len(node.array_entities))
+    for entity in sorted(node.array_entities):
+        acc = node.array_entities[entity]
+        enc.w.uvarint(entity)
+        enc.w.uvarint(acc.min_length)
+        enc.w.uvarint(len(acc.positions))
+        for child in acc.positions:
+            write_fold_node(enc, child)
+    enc.w.boolean(node.array_collection is not None)
+    if node.array_collection is not None:
+        coll = node.array_collection
+        _write_opt(enc, coll.element, write_fold_node)
+        enc.w.uvarint(coll.max_length)
+
+
+def read_fold_node(dec: Decoder) -> FoldNode:
+    node = FoldNode()
+    for _ in range(dec.r.uvarint()):
+        node.primitive_kinds.add(_read_kind(dec))
+    for _ in range(dec.r.uvarint()):
+        entity = dec.r.uvarint()
+        required = {dec.r.string() for _ in range(dec.r.uvarint())}
+        acc = ObjectEntityAcc(required=required)
+        for _ in range(dec.r.uvarint()):
+            key = dec.r.string()
+            acc.fields[key] = read_fold_node(dec)
+        node.object_entities[entity] = acc
+    if dec.r.boolean():
+        coll = ObjectCollAcc(value=_read_opt(dec, read_fold_node))
+        coll.domain = {dec.r.string() for _ in range(dec.r.uvarint())}
+        node.object_collection = coll
+    for _ in range(dec.r.uvarint()):
+        entity = dec.r.uvarint()
+        acc = ArrayEntityAcc(min_length=dec.r.uvarint())
+        acc.positions = [
+            read_fold_node(dec) for _ in range(dec.r.uvarint())
+        ]
+        node.array_entities[entity] = acc
+    if dec.r.boolean():
+        coll = ArrayCollAcc(element=_read_opt(dec, read_fold_node))
+        coll.max_length = dec.r.uvarint()
+        node.array_collection = coll
+    return node
+
+
+# -- collection decisions -----------------------------------------------------
+
+
+def write_decisions(enc: Encoder, decisions: CollectionDecisions) -> None:
+    def write_entry(e: Encoder, entry) -> None:
+        (path, kind), designation = entry
+        write_path(e, path)
+        _write_kind(e, kind)
+        e.w.uvarint(_DESIGNATION_TAG[designation])
+
+    enc.sorted_blobs(decisions.items(), write_entry)
+
+
+def read_decisions(dec: Decoder) -> CollectionDecisions:
+    decisions: CollectionDecisions = {}
+    for _ in range(dec.r.uvarint()):
+        path = read_path(dec)
+        kind = _read_kind(dec)
+        tag = dec.r.uvarint()
+        if tag >= len(_DESIGNATION_ORDER):
+            raise StateCodecError(f"unknown designation tag {tag}")
+        decisions[(path, kind)] = _DESIGNATION_ORDER[tag]
+    return decisions
+
+
+# -- entity clusters / universes / partitioners -------------------------------
+
+
+def write_universe(enc: Encoder, universe: KeySetUniverse) -> None:
+    # Keys are already repr-sorted canonically by construction.
+    enc.w.uvarint(len(universe.keys))
+    for key in universe.keys:
+        _write_feature(enc, key)
+
+
+def read_universe(dec: Decoder) -> KeySetUniverse:
+    return KeySetUniverse(
+        _read_feature(dec) for _ in range(dec.r.uvarint())
+    )
+
+
+def write_cluster(enc: Encoder, cluster: EntityCluster) -> None:
+    _write_key_set(enc, cluster.maximal)
+    # Member order is semantic: the partitioner's member index keeps
+    # the first cluster claiming each member.
+    enc.w.uvarint(len(cluster.members))
+    for member in cluster.members:
+        _write_key_set(enc, member)
+    enc.w.boolean(cluster.synthesized)
+    enc.w.boolean(cluster.member_counts is not None)
+    if cluster.member_counts is not None:
+        enc.w.uvarint(len(cluster.member_counts))
+        for count in cluster.member_counts:
+            enc.w.uvarint(count)
+
+
+def read_cluster(dec: Decoder) -> EntityCluster:
+    maximal = _read_key_set(dec)
+    members = [_read_key_set(dec) for _ in range(dec.r.uvarint())]
+    synthesized = dec.r.boolean()
+    member_counts = None
+    if dec.r.boolean():
+        member_counts = [dec.r.uvarint() for _ in range(dec.r.uvarint())]
+    return EntityCluster(
+        maximal=maximal,
+        members=members,
+        synthesized=synthesized,
+        member_counts=member_counts,
+    )
+
+
+def write_partitioner(enc: Encoder, partitioner) -> None:
+    clusters = partitioner.clusters
+    enc.w.uvarint(len(clusters))
+    for cluster in clusters:
+        write_cluster(enc, cluster)
+
+
+def read_partitioner(dec: Decoder):
+    from repro.entities.partitioner import EntityPartitioner
+
+    clusters = [read_cluster(dec) for _ in range(dec.r.uvarint())]
+    return EntityPartitioner(clusters)
+
+
+# -- configuration ------------------------------------------------------------
+
+
+def write_config(enc: Encoder, config: JxplainConfig) -> None:
+    enc.w.float64(config.entropy_threshold)
+    _write_opt_uvarint(enc, config.similarity_depth)
+    enc.w.boolean(config.detect_array_tuples)
+    enc.w.boolean(config.detect_object_collections)
+    enc.w.string(config.entity_strategy.value)
+    enc.w.string(config.feature_mode.value)
+    _write_opt_uvarint(enc, config.kmeans_k)
+    enc.w.svarint(config.kmeans_seed)
+    enc.w.boolean(config.kmeans_weighted)
+    enc.w.uvarint(config.max_depth)
+
+
+def read_config(dec: Decoder) -> JxplainConfig:
+    return JxplainConfig(
+        entropy_threshold=dec.r.float64(),
+        similarity_depth=_read_opt_uvarint(dec),
+        detect_array_tuples=dec.r.boolean(),
+        detect_object_collections=dec.r.boolean(),
+        entity_strategy=EntityStrategy(dec.r.string()),
+        feature_mode=FeatureMode(dec.r.string()),
+        kmeans_k=_read_opt_uvarint(dec),
+        kmeans_seed=dec.r.svarint(),
+        kmeans_weighted=dec.r.boolean(),
+        max_depth=dec.r.uvarint(),
+    )
+
+
+# -- standalone payloads ------------------------------------------------------
+#
+# Module-level function pairs, so executor tasks can carry them by
+# reference through pickle (`partial(..., dumps=dumps_stat_tree)`).
+
+
+def dumps_schema(schema: Schema) -> bytes:
+    return _dumps("schema", write_schema, schema)
+
+
+def loads_schema(data: bytes) -> Schema:
+    return _loads("schema", read_schema, data)
+
+
+def dumps_bag(bag: TypeBag) -> bytes:
+    return _dumps("bag", write_bag, bag)
+
+
+def loads_bag(data: bytes) -> TypeBag:
+    return _loads("bag", read_bag, data)
+
+
+def dumps_stat_tree(tree: StatTree) -> bytes:
+    return _dumps("stat-tree", write_stat_tree, tree)
+
+
+def loads_stat_tree(data: bytes) -> StatTree:
+    return _loads("stat-tree", read_stat_tree, data)
+
+
+def dumps_tuple_shapes(shapes) -> bytes:
+    return _dumps("tuple-shapes", write_tuple_shapes, shapes)
+
+
+def loads_tuple_shapes(data: bytes):
+    return _loads("tuple-shapes", read_tuple_shapes, data)
+
+
+def dumps_fold_node(node: FoldNode) -> bytes:
+    return _dumps("fold-node", write_fold_node, node)
+
+
+def loads_fold_node(data: bytes) -> FoldNode:
+    return _loads("fold-node", read_fold_node, data)
+
+
+def dumps_decisions(decisions: CollectionDecisions) -> bytes:
+    return _dumps("decisions", write_decisions, decisions)
+
+
+def loads_decisions(data: bytes) -> CollectionDecisions:
+    return _loads("decisions", read_decisions, data)
+
+
+def dumps_universe(universe: KeySetUniverse) -> bytes:
+    return _dumps("universe", write_universe, universe)
+
+
+def loads_universe(data: bytes) -> KeySetUniverse:
+    return _loads("universe", read_universe, data)
+
+
+def dumps_partitioner(partitioner) -> bytes:
+    return _dumps("partitioner", write_partitioner, partitioner)
+
+
+def loads_partitioner(data: bytes):
+    return _loads("partitioner", read_partitioner, data)
+
+
+def dumps_config(config: JxplainConfig) -> bytes:
+    return _dumps("config", write_config, config)
+
+
+def loads_config(data: bytes) -> JxplainConfig:
+    return _loads("config", read_config, data)

@@ -241,12 +241,22 @@ def _combine_object_tuples(tuples: List[ObjectTuple]) -> ObjectTuple:
 
 
 class KReduce(Discoverer):
-    """The K-reduction as a :class:`Discoverer`."""
+    """The K-reduction as a :class:`Discoverer`.
+
+    A thin synthesis layer over
+    :class:`~repro.discovery.state.KReduceState`: the batch ``merge_k``
+    folds the whole bag into the state in one shot (the counted-bag
+    fast path), and the schema is the state's synthesis.
+    """
 
     name = "k-reduce"
 
     def merge_types(self, types: Iterable[JsonType]) -> Schema:
-        return merge_k(types)
+        from repro.discovery.state import KReduceState
+
+        state = KReduceState.empty()
+        state.absorb_bag(as_bag(types))
+        return state.synthesize()
 
 
 register_discoverer(KReduce.name, KReduce)

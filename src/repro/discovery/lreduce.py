@@ -31,12 +31,21 @@ def merge_naive(types: Iterable[JsonType]) -> Schema:
 
 
 class LReduce(Discoverer):
-    """The L-reduction as a :class:`Discoverer`."""
+    """The L-reduction as a :class:`Discoverer`.
+
+    A thin synthesis layer over
+    :class:`~repro.discovery.state.LReduceState`: the bag of distinct
+    types in first-occurrence order *is* the schema.
+    """
 
     name = "l-reduce"
 
     def merge_types(self, types: Iterable[JsonType]) -> Schema:
-        return merge_naive(types)
+        from repro.discovery.state import LReduceState
+
+        state = LReduceState.empty()
+        state.absorb_types(types)
+        return state.synthesize()
 
 
 register_discoverer(LReduce.name, LReduce)

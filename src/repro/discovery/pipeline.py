@@ -17,9 +17,20 @@ measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union as TUnion
 
 from repro.discovery.base import Discoverer
+from repro.discovery.codec import (
+    dumps_bag,
+    dumps_fold_node,
+    dumps_stat_tree,
+    dumps_tuple_shapes,
+    loads_bag,
+    loads_fold_node,
+    loads_stat_tree,
+    loads_tuple_shapes,
+)
 from repro.discovery.config import FeatureMode, JxplainConfig, RobustnessConfig
 from repro.discovery.fold import DecidedFolder, FoldNode
 from repro.discovery.jxplain import JxplainMerger, cluster_key_sets
@@ -31,6 +42,7 @@ from repro.discovery.stat_tree import (
 from repro.engine.dataset import LocalDataset
 from repro.engine.executor import resolve_executor
 from repro.engine.instrument import StageTimer, counters
+from repro.jsontypes.bag import CountedBag
 from repro.entities.partitioner import EntityPartitioner
 from repro.errors import EmptyInputError
 from repro.heuristics.collection import CollectionEvidence, Designation
@@ -275,6 +287,9 @@ class PipelineResult:
     #: Per-file ingestion account when the run came from
     #: :meth:`JxplainPipeline.run_file`; None for in-memory input.
     ingest_report: Optional[object] = None
+    #: The checkpointable :class:`~repro.discovery.state.JxplainState`
+    #: when the run was asked to build one; None otherwise.
+    state: Optional[object] = None
 
     @property
     def collection_paths(self) -> frozenset:
@@ -333,9 +348,18 @@ class JxplainPipeline(Discoverer):
     # -- the three passes ------------------------------------------------------
 
     def run(
-        self, data: TUnion[LocalDataset, Iterable[JsonValue]]
+        self,
+        data: TUnion[LocalDataset, Iterable[JsonValue]],
+        *,
+        build_state: bool = False,
     ) -> PipelineResult:
-        """Run all three passes and return schema + diagnostics."""
+        """Run all three passes and return schema + diagnostics.
+
+        ``build_state`` additionally aggregates the record-type bag
+        into a checkpointable
+        :class:`~repro.discovery.state.JxplainState` (one extra scan),
+        attached to the result as ``state``.
+        """
         timer = StageTimer()
         if isinstance(data, LocalDataset):
             dataset = data
@@ -361,18 +385,22 @@ class JxplainPipeline(Discoverer):
             heuristic_types = types
         with timer.stage("pass1-collections"):
             depth = self.config.similarity_depth
-            tree = heuristic_types.tree_aggregate(
-                lambda: StatTree(similarity_depth=depth),
-                lambda acc, tau: _stat_add(acc, tau),
-                lambda a, b: a.merge(b),
+            tree = heuristic_types.tree_aggregate_serialized(
+                partial(StatTree, similarity_depth=depth),
+                _stat_add,
+                StatTree.merge,
+                dumps=dumps_stat_tree,
+                loads=loads_stat_tree,
             )
             decisions = decide_collections(tree, self.config)
         extractor = FeatureExtractor(decisions, self.config)
         with timer.stage("pass2-entities"):
-            shapes = heuristic_types.tree_aggregate(
+            shapes = heuristic_types.tree_aggregate_serialized(
                 TupleShapes,
-                lambda acc, tau: _shape_add(acc, tau, decisions, extractor),
-                lambda a, b: a.merge(b),
+                partial(_shape_add, decisions=decisions, extractor=extractor),
+                TupleShapes.merge,
+                dumps=dumps_tuple_shapes,
+                loads=loads_tuple_shapes,
             )
             object_partitioners, array_partitioners = build_partitioners(
                 shapes, self.config, executor=dataset.executor
@@ -386,10 +414,12 @@ class JxplainPipeline(Discoverer):
                 extractor=extractor,
             )
             if self.use_fold:
-                node = types.tree_aggregate(
+                node = types.tree_aggregate_serialized(
                     FoldNode,
-                    lambda acc, tau: folder.combine(acc, folder.lift(tau)),
+                    partial(_fold_add, folder=folder),
                     folder.combine,
+                    dumps=dumps_fold_node,
+                    loads=loads_fold_node,
                 )
                 schema = folder.schema(node)
             else:
@@ -401,6 +431,19 @@ class JxplainPipeline(Discoverer):
                     extractor=extractor,
                 )
                 schema = merger.merge(types.collect())
+        state = None
+        if build_state:
+            from repro.discovery.state import JxplainState
+
+            with timer.stage("state-build"):
+                bag = types.tree_aggregate_serialized(
+                    CountedBag,
+                    _bag_add,
+                    _bag_merge,
+                    dumps=dumps_bag,
+                    loads=loads_bag,
+                )
+                state = JxplainState.from_bag(bag, self.config)
         return PipelineResult(
             schema=schema,
             decisions=decisions,
@@ -412,29 +455,116 @@ class JxplainPipeline(Discoverer):
                 if heuristic_types is types
                 else types.count()
             ),
+            state=state,
         )
 
-    def run_file(self, path) -> PipelineResult:
-        """Ingest a ``.jsonl`` file and run the three passes.
+    def run_file(
+        self,
+        path=None,
+        *,
+        checkpoint=None,
+        resume: bool = False,
+        append: Sequence = (),
+    ) -> PipelineResult:
+        """Ingest ``.jsonl`` input and run the three passes.
 
-        The file is read under the robustness config's
-        ``on_bad_record`` policy (``raise`` when no config is set); the
-        resulting :class:`~repro.io.jsonlines.IngestReport` rides along
-        on the :class:`PipelineResult`.
+        Files are read under the robustness config's ``on_bad_record``
+        policy (``raise`` when no config is set); the resulting
+        :class:`~repro.io.jsonlines.IngestReport` rides along on the
+        :class:`PipelineResult`.
+
+        ``checkpoint`` names a state file: after the run, the
+        accumulated :class:`~repro.discovery.state.JxplainState` is
+        saved there (atomically) and returned on the result.  With
+        ``resume=True`` the run starts *from* that checkpoint instead
+        of from scratch — only the ``append`` files (plus ``path``, if
+        given) are read and absorbed, and the schema is re-synthesized
+        from the combined statistics.  Resume-then-append is equivalent
+        to one-shot discovery over the concatenated input (property-
+        tested), which is what makes checkpoints safe to chain.
         """
+        from repro.discovery.state import JxplainState, load_state, save_state
+
         policy = (
             self.robustness.on_bad_record
             if self.robustness is not None
             else "raise"
         )
-        dataset = LocalDataset.from_jsonlines(
-            path,
-            self.num_partitions,
-            executor=self.executor,
-            on_bad_record=policy,
-        )
-        result = self.run(dataset)
-        result.ingest_report = dataset.ingest_report
+        new_files = [f for f in ([path] if path is not None else [])]
+        new_files.extend(append)
+        if resume:
+            if checkpoint is None:
+                raise ValueError("resume=True requires a checkpoint path")
+            state = load_state(checkpoint)
+            if not isinstance(state, JxplainState):
+                from repro.errors import CheckpointError
+
+                raise CheckpointError(
+                    f"checkpoint holds a {state.algorithm!r} state; "
+                    "the pipeline resumes jxplain states only"
+                )
+            # The checkpoint's configuration governs: it is part of the
+            # meaning of the accumulated evidence.
+            self.config = state.config
+            timer = StageTimer()
+            reports = []
+            with timer.stage("resume-absorb"):
+                from repro.io.jsonlines import ingest_jsonlines
+
+                for new_file in new_files:
+                    records, report = ingest_jsonlines(
+                        new_file, on_bad_record=policy
+                    )
+                    reports.append(report)
+                    for record in records:
+                        state.absorb(record)
+            with timer.stage("resume-synthesis"):
+                (
+                    schema,
+                    decisions,
+                    object_partitioners,
+                    array_partitioners,
+                ) = state.synthesize_result()
+            save_state(state, checkpoint)
+            return PipelineResult(
+                schema=schema,
+                decisions=decisions,
+                object_partitioners=object_partitioners,
+                array_partitioners=array_partitioners,
+                timer=timer,
+                record_count=state.record_count,
+                ingest_report=(
+                    reports[0] if len(reports) == 1 else (reports or None)
+                ),
+                state=state,
+            )
+        if not new_files:
+            raise ValueError("run_file needs an input path (or resume=True)")
+        dataset = None
+        ingest_report = None
+        for new_file in new_files:
+            part = LocalDataset.from_jsonlines(
+                new_file,
+                self.num_partitions,
+                executor=self.executor,
+                on_bad_record=policy,
+            )
+            if dataset is None:
+                dataset, ingest_report = part, part.ingest_report
+            else:
+                dataset = dataset.union(part)
+                ingest_report = [
+                    *(
+                        ingest_report
+                        if isinstance(ingest_report, list)
+                        else [ingest_report]
+                    ),
+                    part.ingest_report,
+                ]
+        result = self.run(dataset, build_state=checkpoint is not None)
+        result.ingest_report = ingest_report
+        if checkpoint is not None:
+            save_state(result.state, checkpoint)
         return result
 
     @staticmethod
@@ -478,3 +608,16 @@ def _shape_add(
 ) -> TupleShapes:
     shapes.add(tau, decisions, extractor)
     return shapes
+
+
+def _fold_add(node: FoldNode, tau: JsonType, folder: DecidedFolder) -> FoldNode:
+    return folder.combine(node, folder.lift(tau))
+
+
+def _bag_add(bag: CountedBag, tau: JsonType) -> CountedBag:
+    bag.add(tau)
+    return bag
+
+
+def _bag_merge(left: CountedBag, right: CountedBag) -> CountedBag:
+    return left.merge(right)

@@ -78,6 +78,18 @@ def _fold_task(zero, seq_op, partition):
     return acc
 
 
+def _serialized_fold_task(zero, seq_op, dumps, partition):
+    """Fold a partition, then serialize the accumulator in the worker.
+
+    What crosses the executor boundary is the ``dumps`` byte payload —
+    a versioned codec state — rather than a pickled live accumulator.
+    """
+    acc = zero()
+    for item in partition:
+        acc = seq_op(acc, item)
+    return dumps(acc)
+
+
 class LocalDataset(Generic[T]):
     """An immutable, partitioned, in-memory dataset."""
 
@@ -316,6 +328,54 @@ class LocalDataset(Generic[T]):
             combined: List[U] = []
             for index in range(0, len(partials) - 1, 2):
                 combined.append(comb_op(partials[index], partials[index + 1]))
+            if len(partials) % 2:
+                combined.append(partials[-1])
+            partials = combined
+        return partials[0]
+
+    def tree_aggregate_serialized(
+        self,
+        zero: Callable[[], U],
+        seq_op: Callable[[U, T], U],
+        comb_op: Callable[[U, U], U],
+        *,
+        dumps: Callable[[U], bytes],
+        loads: Callable[[bytes], U],
+    ) -> U:
+        """:meth:`tree_aggregate` with a serialized worker boundary.
+
+        Each worker folds its partition and returns ``dumps(acc)`` —
+        a byte payload — instead of the live accumulator; the driver
+        decodes with ``loads`` and fans the partials in pairwise.  This
+        is how a real distributed reduction moves state, and (unlike
+        closures) the ``(zero, seq_op, dumps)`` task pickles, so the
+        process backend genuinely ships work to other processes.
+
+        A supervised backend that escalates a failed partition to
+        ``skip`` yields ``None`` for it; such partials are dropped,
+        mirroring :class:`~repro.engine.executor.Executor.map_list`'s
+        skip semantics.
+        """
+        from repro.engine.instrument import counters
+
+        self._note_scan()
+        payloads = self._executor.map_list(
+            partial(_serialized_fold_task, zero, seq_op, dumps),
+            self._partitions,
+        )
+        payloads = [payload for payload in payloads if payload is not None]
+        counters.add("state.partials", len(payloads))
+        counters.add(
+            "state.partial_bytes", sum(len(payload) for payload in payloads)
+        )
+        partials = [loads(payload) for payload in payloads]
+        if not partials:
+            return zero()
+        while len(partials) > 1:
+            combined: List[U] = []
+            for index in range(0, len(partials) - 1, 2):
+                combined.append(comb_op(partials[index], partials[index + 1]))
+                counters.add("state.merges")
             if len(partials) % 2:
                 combined.append(partials[-1])
             partials = combined

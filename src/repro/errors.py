@@ -42,3 +42,15 @@ class EngineError(ReproError, RuntimeError):
 
 class RecursionDepthError(ReproError, RecursionError):
     """A JSON value or schema exceeded the configured nesting depth."""
+
+
+class StateCodecError(ReproError, ValueError):
+    """A serialized discovery-state payload could not be decoded.
+
+    Raised for truncated data, a bad magic number, an unsupported
+    codec version, or a payload-kind mismatch.
+    """
+
+
+class CheckpointError(StateCodecError):
+    """A checkpoint file is missing, unreadable, or incompatible."""

@@ -75,6 +75,24 @@ class TypeBag:
         """An empty bag of the same representation."""
         return type(self)()
 
+    def merge(self, other: "TypeBag") -> "TypeBag":
+        """A new bag holding both sides' contents.
+
+        First-occurrence order is preserved: ``self``'s distinct order
+        comes first, then ``other``'s novel types in their order —
+        exactly the order a single traversal of the concatenated input
+        would produce.
+        """
+        merged = self.spawn()
+        for tau, count in self.items():
+            merged.add(tau, count)
+        for tau, count in other.items():
+            merged.add(tau, count)
+        return merged
+
+    def __contains__(self, tau: JsonType) -> bool:
+        return any(member == tau for member in self.distinct())
+
     def subset(self, members: Sequence[JsonType]) -> "TypeBag":
         """A bag restricted to ``members`` (with their multiplicities)."""
         raise NotImplementedError
@@ -131,6 +149,9 @@ class CountedBag(TypeBag):
             bag.add(tau, self._counts[tau])
         return bag
 
+    def __contains__(self, tau: JsonType) -> bool:
+        return tau in self._counts
+
 
 class ListBag(TypeBag):
     """Duplicate-preserving bag: the seed's list semantics, verbatim."""
@@ -166,6 +187,9 @@ class ListBag(TypeBag):
 
     def subset(self, members: Sequence[JsonType]) -> "ListBag":
         return ListBag(list(members))
+
+    def __contains__(self, tau: JsonType) -> bool:
+        return tau in self._items
 
 
 _COUNTED_ENABLED = True

@@ -130,7 +130,12 @@ def from_json_schema(document: Any) -> Schema:
         return PRIMITIVE_SCHEMAS[_NAME_TO_KIND[type_name]]
     if type_name == "object":
         extra = body.get("additionalProperties", True)
-        if extra is False:
+        # ``additionalProperties: false`` is ambiguous: it closes an
+        # object tuple, but it is also how a collection whose value
+        # schema is NEVER (only the empty object) exports.  The
+        # ``x-repro`` domain marker — written only for collections —
+        # resolves it, so both forms round-trip exactly.
+        if extra is False and "domain" not in body.get("x-repro", {}):
             properties = body.get("properties", {})
             required_keys = set(body.get("required", ()))
             unknown = required_keys - set(properties)

@@ -64,16 +64,14 @@ class TestStreamingJxplain:
     def test_matches_batch_after_full_stream(self, login_serve_stream):
         stream = StreamingJxplain()
         stream.observe_many(login_serve_stream)
-        # current_schema forces synthesis over every retained type;
-        # duplicates collapse, so this equals batch discovery over the
-        # distinct types.
-        from repro.jsontypes.types import type_of
-        from repro.discovery import jxplain_merge
+        # The stream's state is exactly the batch pipeline's sufficient
+        # statistics (bag + stat tree, multiplicities included), so
+        # forcing synthesis equals one-shot batch discovery over the
+        # full stream.
+        from repro.discovery import JxplainPipeline
 
-        distinct = list(
-            dict.fromkeys(type_of(r) for r in login_serve_stream)
-        )
-        assert stream.current_schema() == jxplain_merge(distinct)
+        batch = JxplainPipeline().run(login_serve_stream).schema
+        assert stream.current_schema() == batch
 
     def test_duplicates_are_not_novel(self):
         stream = StreamingJxplain()

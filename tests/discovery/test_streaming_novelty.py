@@ -1,0 +1,78 @@
+"""The novelty buffer never changes what StreamingJxplain synthesizes.
+
+``StreamingJxplain`` defers synthesis until enough *novel* records
+accumulate — a latency/throughput knob.  The correctness claim is that
+the knob is invisible in the output: at every resynthesis point the
+schema equals one-shot batch discovery over exactly the records
+observed so far, regardless of stream order or how synthesis points
+fall.  The state absorbs every record immediately (multiplicities
+included); only the schema is lazy.
+"""
+
+import json
+import random
+
+from repro.datasets import make_dataset
+from repro.discovery import JxplainPipeline, StreamingJxplain
+from repro.schema import to_json_schema
+
+
+def canon(schema) -> str:
+    return json.dumps(to_json_schema(schema), sort_keys=True)
+
+
+def batch_schema(records) -> str:
+    return canon(JxplainPipeline().run(records).schema)
+
+
+def test_every_resynthesis_point_matches_batch():
+    records = make_dataset("github").generate(160, seed=7)
+    random.Random(13).shuffle(records)
+    stream = StreamingJxplain(resynthesize_after=4)
+    synthesis_points = 0
+    for index, record in enumerate(records):
+        seen_syntheses = stream.synthesis_count
+        stream.observe(record)
+        if stream.synthesis_count > seen_syntheses:
+            synthesis_points += 1
+            # An automatic resynthesis just happened; the cached
+            # schema (no pending novelty, so current_schema() does
+            # not rebuild) must equal the batch run over the prefix.
+            assert stream.pending_novelty == 0
+            assert canon(stream.current_schema()) == batch_schema(
+                records[: index + 1]
+            )
+    assert synthesis_points >= 3, "fixture never exercised the buffer"
+    # And the final on-demand synthesis covers the whole stream.
+    assert canon(stream.current_schema()) == batch_schema(records)
+
+
+def test_order_invariance_across_shuffles():
+    records = make_dataset("figure1").generate(90, seed=3)
+    reference = batch_schema(records)
+    for seed in (1, 2, 3):
+        shuffled = list(records)
+        random.Random(seed).shuffle(shuffled)
+        stream = StreamingJxplain(resynthesize_after=5)
+        stream.observe_many(shuffled)
+        assert canon(stream.current_schema()) == reference
+
+
+def test_buffer_size_is_invisible_in_the_state():
+    """The knob only schedules synthesis; it never changes evidence.
+
+    The cached schema may legitimately lag behind novelty-free drift
+    (e.g. a collection's domain growing: new records admit, so nothing
+    triggers a rebuild).  The accumulated *state*, however, must be
+    byte-identical whatever the buffer size, so a forced synthesis
+    equals the batch run no matter how lazily the stream ran.
+    """
+    records = make_dataset("pharma").generate(100, seed=11)
+    reference = batch_schema(records)
+    states = []
+    for buffer_size in (1, 7, 1000):
+        stream = StreamingJxplain(resynthesize_after=buffer_size)
+        stream.observe_many(records)
+        states.append(stream.state)
+        assert canon(stream.state.synthesize()) == reference
+    assert states[0].to_bytes() == states[1].to_bytes() == states[2].to_bytes()
