@@ -1,0 +1,107 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline entry matches findings by :attr:`Finding.fingerprint`
+(file + rule + message, no line number) with a count, so a
+grandfathered finding stays matched across unrelated edits but a *new*
+occurrence of the same violation in the same file still fails the
+gate.  ``repro lint --update-baseline`` regenerates the file from the
+current findings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import LintError
+from repro.analysis.findings import Finding
+
+#: Default baseline location, relative to the working directory.
+DEFAULT_BASELINE_PATH = "lint-baseline.json"
+
+_BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint → allowed-occurrence-count map."""
+
+    def __init__(self, allowed: Dict[str, int] = None, entries=None):
+        self._allowed: Dict[str, int] = dict(allowed or {})
+        #: The raw entries, kept for round-tripping / reporting.
+        self.entries: List[dict] = list(entries or [])
+
+    def __len__(self) -> int:
+        return sum(self._allowed.values())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls()
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"unreadable baseline {path}: {exc}") from exc
+        if payload.get("version") != _BASELINE_VERSION:
+            raise LintError(
+                f"baseline {path} has version {payload.get('version')!r}; "
+                f"this build reads version {_BASELINE_VERSION}"
+            )
+        allowed: Dict[str, int] = {}
+        entries = payload.get("findings", [])
+        for entry in entries:
+            allowed[entry["fingerprint"]] = (
+                allowed.get(entry["fingerprint"], 0) + entry.get("count", 1)
+            )
+        return cls(allowed, entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: "Counter[Tuple[str, str, str, str]]" = Counter()
+        for finding in findings:
+            counts[
+                (
+                    finding.fingerprint,
+                    finding.file,
+                    finding.rule_id,
+                    finding.message,
+                )
+            ] += 1
+        entries = [
+            {
+                "fingerprint": fingerprint,
+                "file": file,
+                "rule": rule_id,
+                "message": message,
+                "count": count,
+            }
+            for (fingerprint, file, rule_id, message), count in sorted(
+                counts.items(), key=lambda item: (item[0][1], item[0][2])
+            )
+        ]
+        allowed = {
+            entry["fingerprint"]: entry["count"] for entry in entries
+        }
+        return cls(allowed, entries)
+
+    def save(self, path: str) -> None:
+        payload = {"version": _BASELINE_VERSION, "findings": self.entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def apply(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Mark findings covered by the baseline (first-come within the
+        allowed count per fingerprint)."""
+        budget = dict(self._allowed)
+        marked: List[Finding] = []
+        for finding in findings:
+            remaining = budget.get(finding.fingerprint, 0)
+            if remaining > 0:
+                budget[finding.fingerprint] = remaining - 1
+                marked.append(finding.with_baselined(True))
+            else:
+                marked.append(finding)
+        return marked

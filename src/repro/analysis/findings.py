@@ -1,0 +1,123 @@
+"""The finding model shared by every lint rule.
+
+A :class:`Finding` is one rule violation at one source location.  It is
+a plain, picklable value object so per-file analysis can fan out over
+the process executor backend, and it serializes to/from JSON dicts so
+findings survive the content-hash cache and the ``--format json``
+report unchanged.
+
+Baseline matching uses :attr:`Finding.fingerprint` — deliberately
+line-number-free (file, rule, message) so grandfathered findings stay
+matched while unrelated edits shift them around a file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Tuple
+
+
+class Severity(Enum):
+    """Ordered severity ladder: ``info < warning < error``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __ge__(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:
+        return self.rank > other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.INFO: 0,
+    Severity.WARNING: 1,
+    Severity.ERROR: 2,
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Path of the offending file, relative to the lint root.
+    file: str
+    #: 1-based source line.
+    line: int
+    #: 0-based column.
+    column: int
+    #: Rule identifier (``"R1"`` ... ``"R7"``).
+    rule_id: str
+    #: Severity the rule assigns this violation.
+    severity: Severity
+    #: Human-readable description of the violation.
+    message: str
+    #: Whether a checked-in baseline entry grandfathers this finding.
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number-free)."""
+        digest = hashlib.sha256(
+            f"{self.file}\x00{self.rule_id}\x00{self.message}".encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    @property
+    def sort_key(self) -> Tuple:
+        return (self.file, self.line, self.column, self.rule_id, self.message)
+
+    def describe(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.column + 1}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            file=payload["file"],
+            line=payload["line"],
+            column=payload["column"],
+            rule_id=payload["rule"],
+            severity=Severity(payload["severity"]),
+            message=payload["message"],
+            baselined=bool(payload.get("baselined", False)),
+        )
+
+    def with_baselined(self, baselined: bool) -> "Finding":
+        return Finding(
+            file=self.file,
+            line=self.line,
+            column=self.column,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=self.message,
+            baselined=baselined,
+        )

@@ -1,0 +1,81 @@
+"""Text and JSON rendering of a :class:`~repro.analysis.driver.LintResult`."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from repro.analysis.driver import LintResult
+
+#: Schema version of the JSON report (the CI artifact format).
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, *, show_baselined: bool = False) -> str:
+    """Human-readable findings plus a one-line summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        if finding.baselined and not show_baselined:
+            continue
+        suffix = "  (baselined)" if finding.baselined else ""
+        lines.append(finding.describe() + suffix)
+    lines.append(summary_line(result))
+    return "\n".join(lines)
+
+
+def summary_line(result: LintResult) -> str:
+    fresh = result.fresh_findings
+    by_severity = Counter(finding.severity.value for finding in fresh)
+    breakdown = (
+        ", ".join(
+            f"{count} {severity}"
+            for severity, count in sorted(by_severity.items())
+        )
+        or "none"
+    )
+    baselined = len(result.findings) - len(fresh)
+    cache_note = (
+        f", {result.cache_hit_count} cached"
+        if result.cache_hit_count
+        else ""
+    )
+    return (
+        f"checked {len(result.files)} files "
+        f"({result.analyzed_count} analyzed{cache_note}): "
+        f"findings: {breakdown}"
+        + (f" (+{baselined} baselined)" if baselined else "")
+    )
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report uploaded as a CI artifact."""
+    fresh = result.fresh_findings
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": len(result.files),
+        "files_analyzed": result.analyzed_count,
+        "cache_hits": result.cache_hit_count,
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "severity": rule.severity.value,
+                "law": rule.law,
+            }
+            for rule in result.rules
+        ],
+        "findings": [finding.to_dict() for finding in result.findings],
+        "summary": {
+            "total": len(result.findings),
+            "fresh": len(fresh),
+            "baselined": len(result.findings) - len(fresh),
+            "by_severity": dict(
+                Counter(finding.severity.value for finding in fresh)
+            ),
+            "by_rule": dict(
+                Counter(finding.rule_id for finding in fresh)
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

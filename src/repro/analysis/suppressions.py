@@ -1,0 +1,68 @@
+"""Inline suppression comments.
+
+Grammar (anywhere in a comment)::
+
+    # repro-lint: disable=R1            suppress R1 on this line
+    # repro-lint: disable=R1,R3         suppress several rules
+    # repro-lint: disable=all           suppress every rule on this line
+    # repro-lint: disable-next-line=R2  suppress on the following line
+    # repro-lint: disable-file=R4       suppress R4 for the whole file
+
+``disable-file`` is honoured only within the first
+:data:`FILE_PRAGMA_WINDOW` lines, so a file-wide waiver is always
+visible at the top of the file rather than buried mid-module.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Set
+
+#: ``disable-file`` pragmas must appear within this many leading lines.
+FILE_PRAGMA_WINDOW = 10
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*"
+    r"(?P<verb>disable(?:-next-line|-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+#: Sentinel rule set meaning "every rule".
+ALL = frozenset({"all"})
+
+
+class Suppressions:
+    """Per-file map of suppressed rule ids by line."""
+
+    def __init__(self, source: str):
+        self._by_line: Dict[int, Set[str]] = {}
+        self._file_wide: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" not in text:
+                continue
+            for match in _PRAGMA.finditer(text):
+                rules = {
+                    chunk.strip()
+                    for chunk in match.group("rules").split(",")
+                    if chunk.strip()
+                }
+                verb = match.group("verb")
+                if verb == "disable-file":
+                    if lineno <= FILE_PRAGMA_WINDOW:
+                        self._file_wide |= rules
+                    continue
+                target = lineno + 1 if verb == "disable-next-line" else lineno
+                self._by_line.setdefault(target, set()).update(rules)
+
+    @property
+    def file_wide(self) -> FrozenSet[str]:
+        return frozenset(self._file_wide)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is waived at ``line``."""
+        if "all" in self._file_wide or rule_id in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return "all" in rules or rule_id in rules

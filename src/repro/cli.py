@@ -12,6 +12,8 @@ Subcommands:
 * ``diff`` — compare two stored schemas and report structural changes;
 * ``docs`` — render a stored schema as a Markdown documentation page;
 * ``coref`` — report entities repeated at multiple schema paths;
+* ``lint`` — run the repo's own static-invariant analyzer
+  (:mod:`repro.analysis`) over source trees;
 * ``datasets`` / ``algorithms`` — list what is available.
 """
 
@@ -172,6 +174,78 @@ def _build_parser() -> argparse.ArgumentParser:
     coref.add_argument(
         "--jaccard", type=float, default=0.8,
         help="near-equality threshold on key-set overlap",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the codebase's determinism / "
+        "picklability / supervision laws",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings as readable text or a JSON report",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report here (a text summary still prints)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="warning",
+        help="exit non-zero when a non-baselined finding reaches this "
+        "severity (default: warning)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of grandfathered findings "
+        "(default: lint-baseline.json when it exists)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file content-hash cache",
+    )
+    lint.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="cache file location (default: .repro-lint-cache.json)",
+    )
+    lint.add_argument(
+        "--executor",
+        default=None,
+        metavar="SPEC",
+        help="engine backend for the per-file fan-out "
+        "(serial, threads[:N], processes[:N]; default: REPRO_EXECUTOR)",
+    )
+    lint.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings the baseline grandfathers",
     )
 
     sub.add_parser("datasets", help="list dataset generators")
@@ -373,6 +447,69 @@ def _cmd_coref(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis import (
+        Baseline,
+        DEFAULT_BASELINE_PATH,
+        DEFAULT_CACHE_PATH,
+        LintError,
+        Severity,
+        render_json,
+        render_text,
+        run_lint,
+        summary_line,
+    )
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE_PATH):
+        baseline_path = DEFAULT_BASELINE_PATH
+    cache_path = None if args.no_cache else (args.cache or DEFAULT_CACHE_PATH)
+    rules = None
+    if args.rules:
+        rules = [
+            chunk.strip() for chunk in args.rules.split(",") if chunk.strip()
+        ]
+    try:
+        result = run_lint(
+            args.paths,
+            rules=rules,
+            executor=args.executor,
+            cache_path=cache_path,
+            baseline_path=(
+                None if args.update_baseline else baseline_path
+            ),
+        )
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE_PATH
+        Baseline.from_findings(result.findings).save(target)
+        print(
+            f"baselined {len(result.findings)} findings into {target}"
+        )
+        return 0
+    report = (
+        render_json(result)
+        if args.format == "json"
+        else render_text(result, show_baselined=args.show_baselined)
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(summary_line(result))
+    else:
+        print(report)
+    fail_on = (
+        None
+        if args.fail_on == "never"
+        else Severity(args.fail_on)
+    )
+    return 1 if result.fails(fail_on) else 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     generator = make_dataset(args.dataset)
     records = generator.generate(args.records, seed=args.seed)
@@ -392,8 +529,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         try:
             sys.stdout.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            # Usually a second BrokenPipeError from flushing the
+            # already-dead pipe.  Still accounted for: the counter
+            # always ticks, and REPRO_VERBOSE surfaces the details.
+            from repro.engine.instrument import counters
+
+            counters.add("cli.stdout_close_errors")
+            if os.environ.get("REPRO_VERBOSE"):
+                print(
+                    f"warning: stdout close failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
         os._exit(0)
 
 
@@ -412,6 +560,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_docs(args)
     if args.command == "coref":
         return _cmd_coref(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "datasets":
         print("\n".join(dataset_names()))
         return 0

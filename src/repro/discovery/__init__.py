@@ -26,6 +26,7 @@ from repro.discovery.config import (
     BIMAX_MERGE_CONFIG,
     BIMAX_NAIVE_CONFIG,
     EntityStrategy,
+    FeatureMode,
     JxplainConfig,
     RobustnessConfig,
 )
@@ -85,15 +86,15 @@ __all__ = [
     "Discoverer",
     "DiscoveryState",
     "EntityStrategy",
+    "FeatureMode",
     "FoldNode",
     "FunctionDiscoverer",
     "Jxplain",
     "JxplainConfig",
-    "JxplainState",
-    "RobustnessConfig",
     "JxplainMerger",
     "JxplainNaive",
     "JxplainPipeline",
+    "JxplainState",
     "KReduce",
     "KReduceState",
     "LReduce",
@@ -101,6 +102,7 @@ __all__ = [
     "PathEntropy",
     "PipelineMerger",
     "PipelineResult",
+    "RobustnessConfig",
     "StatTree",
     "StreamingJxplain",
     "StreamingKReduce",

@@ -32,6 +32,7 @@ add a path step — all entities at a path share it.
 from __future__ import annotations
 
 import threading
+from functools import partial
 from typing import Iterable, List, Optional, Sequence, Union as TUnion
 
 from repro.discovery.base import Discoverer, register_discoverer
@@ -143,6 +144,36 @@ def cluster_key_sets(
 _entity_dispatch = threading.local()
 
 
+# -- picklable entity-merge tasks --------------------------------------------
+#
+# Module-level (and dispatched via functools.partial over them) so the
+# process executor backend can ship per-entity merges to real workers
+# instead of silently degrading to a serial rescue; the merger itself
+# drops its executor when pickled (see JxplainMerger.__getstate__), so
+# a worker's recursive sub-merges stay serial by construction.
+
+
+def _run_entity_merge(fn, bag: TypeBag) -> Schema:
+    """Run one entity's merge under the nested-fan-out guard."""
+    _entity_dispatch.active = True
+    try:
+        return fn(bag)
+    finally:
+        _entity_dispatch.active = False
+
+
+def _merge_array_entity_task(
+    merger: "JxplainMerger", path: Path, depth: int, bag: TypeBag
+) -> Schema:
+    return merger._merge_array_entity(bag, path, depth)
+
+
+def _merge_object_entity_task(
+    merger: "JxplainMerger", path: Path, depth: int, bag: TypeBag
+) -> Schema:
+    return merger._merge_object_entity(bag, path, depth)
+
+
 class JxplainMerger:
     """Stateful recursive merger implementing Algorithm 4.
 
@@ -170,6 +201,17 @@ class JxplainMerger:
             resolve_executor(executor) if executor is not None else None
         )
 
+    def __getstate__(self) -> dict:
+        # The merger crosses the process boundary inside per-entity
+        # merge tasks; pools are not picklable (and a worker must not
+        # fan out again), so the executor stays driver-side.
+        state = dict(self.__dict__)
+        state["_executor"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def _map_entity_merges(self, fn, bags: List[TypeBag]) -> List[Schema]:
         """Map ``fn`` over per-entity bags, fanning out when allowed."""
         executor = self._executor
@@ -180,15 +222,7 @@ class JxplainMerger:
         ):
             return [fn(bag) for bag in bags]
         counters.add("jxplain.entity_fanouts")
-
-        def run(bag: TypeBag) -> Schema:
-            _entity_dispatch.active = True
-            try:
-                return fn(bag)
-            finally:
-                _entity_dispatch.active = False
-
-        return executor.map_list(run, bags)
+        return executor.map_list(partial(_run_entity_merge, fn), bags)
 
     # -- heuristic hooks ---------------------------------------------------
 
@@ -330,7 +364,7 @@ class JxplainMerger:
             arrays.distinct(), path, counts=arrays.counts()
         )
         branches = self._map_entity_merges(
-            lambda bag: self._merge_array_entity(bag, path, depth),
+            partial(_merge_array_entity_task, self, path, depth),
             [arrays.subset(group) for group in groups],
         )
         return union(*branches)
@@ -385,7 +419,7 @@ class JxplainMerger:
             objects.distinct(), path, counts=objects.counts()
         )
         branches = self._map_entity_merges(
-            lambda bag: self._merge_object_entity(bag, path, depth),
+            partial(_merge_object_entity_task, self, path, depth),
             [objects.subset(group) for group in groups],
         )
         return union(*branches)

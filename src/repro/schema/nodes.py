@@ -72,6 +72,20 @@ class Schema:
         for child in self.children():
             yield from child.walk()
 
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for klass in type(self).__mro__
+            for slot in getattr(klass, "__slots__", ())
+        }
+
+    def __setstate__(self, state):
+        # Schemas ship to worker processes inside entity-merge tasks.
+        # The immutability guard blocks plain setattr, so restoration
+        # goes through object.__setattr__, exactly like __init__.
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     def __repr__(self) -> str:
         from repro.schema.render import render
 
@@ -133,6 +147,13 @@ class PrimitiveSchema(Schema):
 
     def __hash__(self) -> int:
         return hash((PrimitiveSchema, self.kind))
+
+    def __reduce__(self):
+        # Unpickling re-enters __new__, which re-interns: primitive
+        # schema singletons survive a round trip to a worker process
+        # (the default reduce calls __new__ with no arguments and
+        # breaks instead).
+        return (PrimitiveSchema, (self.kind,))
 
 
 #: Primitive schema singletons.

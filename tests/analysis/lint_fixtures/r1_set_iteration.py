@@ -1,0 +1,20 @@
+"""Fixture: hash-ordered set iteration reaching codec output (R1)."""
+
+
+def encode(keys, out):
+    names = {key for key in keys}
+    for name in names:
+        out.append(name)
+
+
+def collect(keys):
+    return list(set(keys))
+
+
+def order(items):
+    return sorted(items, key=id)
+
+
+def ordered_fine(keys, out):
+    for name in sorted(set(keys)):
+        out.append(name)

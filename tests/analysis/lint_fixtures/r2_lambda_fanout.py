@@ -1,0 +1,21 @@
+"""Fixture: unpicklable callables at executor fan-out sites (R2)."""
+
+from functools import partial
+
+
+def _double(value):
+    return 2 * value
+
+
+def bad(executor, items):
+    def local(value):
+        return value + 1
+
+    first = executor.map_list(lambda value: value * 2, items)
+    second = executor.map_list(local, items)
+    third = executor.map_list(partial(lambda value, base: value, 1), items)
+    return first, second, third
+
+
+def fine(executor, items):
+    return executor.map_list(partial(_double), items)

@@ -1,0 +1,23 @@
+"""Fixture: a broad except that swallows the error (R3)."""
+
+
+def risky(task):
+    try:
+        return task()
+    except Exception:
+        pass
+
+
+def records_it(task):
+    try:
+        return task()
+    except Exception as exc:
+        last_error = exc
+        return last_error
+
+
+def narrow_is_fine(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        pass

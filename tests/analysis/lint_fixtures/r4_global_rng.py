@@ -1,0 +1,14 @@
+"""Fixture: draws from the global random-module RNG (R4)."""
+
+import random
+from random import randint
+
+
+def sample(items):
+    random.shuffle(items)
+    return randint(0, 10)
+
+
+def seeded(seed):
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,14 @@
+"""Fixture: counter mutations bypassing the thread-safe helpers (R5)."""
+
+from repro.engine.instrument import counters
+
+
+def bump():
+    counters._values["lint"] = 1
+    counters.increment("lint")
+    counters["lint"] = 2
+
+
+def fine():
+    counters.add("lint", 3)
+    return counters.get("lint")

@@ -1,0 +1,6 @@
+"""Fixture: ``__all__`` drift in a package ``__init__`` (R6)."""
+
+from os.path import basename
+from os.path import join
+
+__all__ = ["join", "missing_name"]

@@ -1,0 +1,13 @@
+"""Fixture: a codec encoder with no decoder counterpart (R6)."""
+
+
+def write_header(out):
+    out.append(b"hdr")
+
+
+def dumps_state(state):
+    return b""
+
+
+def loads_state(data):
+    return None

@@ -1,0 +1,12 @@
+"""Fixture: fault-plan stage references vs defined stage labels (R7)."""
+
+
+def pipeline(timer, records):
+    with timer.stage("parse"):
+        parsed = list(records)
+    with timer.stage("synthesize"):
+        return parsed
+
+
+def chaos(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "parse:0:raise,ghost-stage:1:raise")

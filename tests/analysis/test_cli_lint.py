@@ -1,0 +1,145 @@
+"""End-to-end tests of ``repro lint`` through the CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SWALLOW = (
+    "def probe(fn):\n"
+    "    try:\n"
+    "        fn()\n"
+    "    except Exception:\n"
+    "        pass\n"
+)
+
+CLEAN = "def double(x):\n    return 2 * x\n"
+
+
+@pytest.fixture
+def dirty_dir(tmp_path, monkeypatch):
+    # Anchor the CLI's cwd-relative defaults (baseline, cache, the
+    # findings' relative paths) inside the sandbox.
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(SWALLOW)
+    return "pkg"
+
+
+@pytest.fixture
+def clean_dir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "good.py").write_text(CLEAN)
+    return "pkg"
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, clean_dir, capsys):
+        assert main(["lint", clean_dir, "--no-cache"]) == 0
+        assert "findings: none" in capsys.readouterr().out
+
+    def test_findings_gate(self, dirty_dir, capsys):
+        assert main(["lint", dirty_dir, "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "pkg/bad.py:4:5: R3 [error]" in out
+
+    def test_fail_on_never(self, dirty_dir):
+        assert main(
+            ["lint", dirty_dir, "--no-cache", "--fail-on", "never"]
+        ) == 0
+
+    def test_fail_on_error_ignores_warnings(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "fanout.py").write_text(
+            "def run(executor, items):\n"
+            "    return executor.map_list(lambda x: x, items)\n"
+        )
+        assert main(["lint", "pkg", "--no-cache"]) == 1
+        assert main(
+            ["lint", "pkg", "--no-cache", "--fail-on", "error"]
+        ) == 0
+
+    def test_missing_path_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "nope", "--no-cache"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRuleSelection:
+    def test_rules_flag(self, dirty_dir):
+        assert main(
+            ["lint", dirty_dir, "--no-cache", "--rules", "R1,R4"]
+        ) == 0
+        assert main(
+            ["lint", dirty_dir, "--no-cache", "--rules", "R3"]
+        ) == 1
+
+
+class TestJsonOutput:
+    def test_report_written_to_file(self, dirty_dir, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        code = main(
+            [
+                "lint",
+                dirty_dir,
+                "--no-cache",
+                "--format",
+                "json",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(target.read_text())
+        assert payload["summary"]["by_rule"] == {"R3": 1}
+        # A human summary still lands on stdout.
+        assert "findings:" in capsys.readouterr().out
+
+
+class TestBaselineFlow:
+    def test_update_then_gate_green(self, dirty_dir, capsys):
+        baseline = "baseline.json"
+        assert main(
+            [
+                "lint",
+                dirty_dir,
+                "--no-cache",
+                "--update-baseline",
+                "--baseline",
+                baseline,
+            ]
+        ) == 0
+        assert "baselined 1 findings" in capsys.readouterr().out
+        assert main(
+            ["lint", dirty_dir, "--no-cache", "--baseline", baseline]
+        ) == 0
+
+    def test_default_baseline_discovered_in_cwd(self, dirty_dir, capsys):
+        assert main(
+            ["lint", dirty_dir, "--no-cache", "--update-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["lint", dirty_dir, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "+1 baselined" in out
+
+    def test_show_baselined(self, dirty_dir, capsys):
+        main(["lint", dirty_dir, "--no-cache", "--update-baseline"])
+        capsys.readouterr()
+        main(["lint", dirty_dir, "--no-cache", "--show-baselined"])
+        assert "(baselined)" in capsys.readouterr().out
+
+
+class TestCacheFlag:
+    def test_cache_file_written_and_used(self, dirty_dir, capsys):
+        cache = "lint-cache.json"
+        main(["lint", dirty_dir, "--cache", cache, "--fail-on", "never"])
+        capsys.readouterr()
+        main(["lint", dirty_dir, "--cache", cache, "--fail-on", "never"])
+        assert "1 cached" in capsys.readouterr().out

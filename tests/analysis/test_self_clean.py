@@ -1,0 +1,39 @@
+"""The repo must pass its own linter (modulo the checked-in baseline).
+
+This is the in-suite twin of the CI gate: every R1–R7 law the analyzer
+enforces holds over ``src/`` and ``tests/``, with pre-existing waivers
+carried by ``lint-baseline.json``.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Severity, all_rules, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_lint_clean_modulo_baseline():
+    result = run_lint(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+        root=str(REPO_ROOT),
+        cache_path=None,
+        baseline_path=str(REPO_ROOT / "lint-baseline.json"),
+    )
+    fresh = result.fresh_findings
+    assert fresh == [], "\n".join(f.describe() for f in fresh)
+    assert not result.fails(Severity.WARNING)
+
+
+def test_every_documented_rule_is_registered():
+    assert [rule.rule_id for rule in all_rules()] == [
+        "R1",
+        "R2",
+        "R3",
+        "R4",
+        "R5",
+        "R6",
+        "R7",
+    ]
+    for rule in all_rules():
+        assert rule.law, rule.rule_id
+        assert rule.name, rule.rule_id

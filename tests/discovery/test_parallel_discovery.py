@@ -89,3 +89,40 @@ class TestBackendIndependence:
         JxplainPipeline(executor="threads:2").discover(multi_entity_records)
         snapshot = counters.snapshot()
         assert snapshot.get("pipeline.partitioner_fanouts", 0) >= 1
+
+
+class TestProcessPicklability:
+    """The entity-merge tasks must genuinely ship to worker processes.
+
+    Before the partial()-based task functions, the per-entity closures
+    failed to pickle and the process backend silently degraded to its
+    serial rescue — backend-equality held, but nothing ran in parallel.
+    """
+
+    def test_jxplain_entity_merges_pickle(self, multi_entity_records):
+        reference = Jxplain().discover(multi_entity_records)
+        reset_perf_counters()
+        executor = resolve_executor("processes:2")
+        try:
+            schema = Jxplain(executor=executor).discover(
+                multi_entity_records
+            )
+            assert executor.last_fallback_error is None
+        finally:
+            executor.close()
+        assert schema == reference
+        assert counters.get("executor.process_fallbacks") == 0
+
+    def test_merger_state_drops_executor_on_pickle(self):
+        import pickle
+
+        from repro.discovery.jxplain import JxplainMerger
+
+        executor = resolve_executor("threads:2")
+        try:
+            merger = JxplainMerger(executor=executor)
+            clone = pickle.loads(pickle.dumps(merger))
+        finally:
+            executor.close()
+        assert clone._executor is None
+        assert clone.config == merger.config

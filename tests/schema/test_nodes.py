@@ -205,3 +205,49 @@ class TestEntityCount:
         names = [type(node).__name__ for node in schema.walk()]
         assert names.count("ObjectTuple") == 1
         assert names.count("Union") == 1
+
+
+class TestPickling:
+    """Schema nodes ship to worker processes inside entity-merge tasks,
+    so every node kind must survive a pickle round trip — including the
+    interned/singleton ones, whose default reduce re-enters __new__."""
+
+    def roundtrip(self, schema):
+        import pickle
+
+        restored = pickle.loads(pickle.dumps(schema))
+        assert restored == schema
+        return restored
+
+    def test_primitive_singletons_stay_interned(self):
+        for singleton in (BOOLEAN_S, NUMBER_S, STRING_S, NULL_S):
+            assert self.roundtrip(singleton) is singleton
+
+    def test_never_stays_singleton(self):
+        assert self.roundtrip(NEVER) is NEVER
+
+    def test_composite_nodes_roundtrip(self):
+        schemas = [
+            ObjectTuple({"a": NUMBER_S}, optional={"b": STRING_S}),
+            ArrayTuple((NUMBER_S, STRING_S), min_length=1),
+            ArrayCollection(STRING_S, max_length_seen=4),
+            ObjectCollection(ObjectTuple({"x": NUMBER_S}), domain=("k",)),
+            union(NUMBER_S, STRING_S),
+        ]
+        for schema in schemas:
+            restored = self.roundtrip(schema)
+            assert hash(restored) == hash(schema)
+
+    def test_nested_schema_roundtrips(self):
+        schema = ObjectTuple(
+            {
+                "users": ArrayCollection(
+                    ObjectTuple({"id": NUMBER_S}, optional={"tag": STRING_S})
+                ),
+            },
+            optional={"meta": union(NULL_S, ObjectTuple({"page": NUMBER_S}))},
+        )
+        restored = self.roundtrip(schema)
+        assert restored.admits_value(
+            {"users": [{"id": 1, "tag": "a"}], "meta": None}
+        )
