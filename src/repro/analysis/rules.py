@@ -104,6 +104,8 @@ class _ScopeStack:
 DETERMINISM_CRITICAL_MODULES = (
     "repro/discovery/codec.py",
     "repro/discovery/state.py",
+    "repro/io/fastpath.py",
+    "repro/jsontypes/tokenizer.py",
     "repro/schema/render.py",
     "repro/schema/jsonschema.py",
 )

@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.datasets import dataset_names, make_dataset
 from repro.discovery import EntityStrategy, discoverer_names, make_discoverer
 from repro.io.jsonlines import (
+    INGEST_MODES,
     INGEST_POLICIES,
     ingest_jsonlines,
     write_jsonlines,
@@ -93,6 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="raise",
         help="malformed input lines: abort (raise), drop them (skip), "
         "or drop and report payloads (collect)",
+    )
+    discover.add_argument(
+        "--ingest",
+        choices=INGEST_MODES,
+        default="classic",
+        help="how to read input: parse values (classic) or stream "
+        "interned record types in one pass over the bytes (fused)",
     )
     discover.add_argument(
         "--checkpoint", default=None, metavar="PATH",
@@ -253,8 +261,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _read_input(path: str, on_bad_record: str) -> list:
-    records, report = ingest_jsonlines(path, on_bad_record=on_bad_record)
+def _read_input(
+    path: str, on_bad_record: str, ingest: str = "classic"
+) -> list:
+    if ingest == "fused":
+        from repro.io.fastpath import ingest_jsonlines_fused
+
+        records, report = ingest_jsonlines_fused(
+            path, on_bad_record=on_bad_record
+        )
+    else:
+        records, report = ingest_jsonlines(path, on_bad_record=on_bad_record)
     if not report.ok:
         print(f"warning: {report.summary()}", file=sys.stderr)
     return records
@@ -288,7 +305,16 @@ def _emit_schema(schema, args: argparse.Namespace) -> None:
 
 def _cmd_discover(args: argparse.Namespace) -> int:
     overrides = _discover_overrides(args)
-    if args.checkpoint or args.resume or args.append:
+    # Fused ingestion yields record *types*, and the state core is the
+    # layer that canonically consumes types for every algorithm — so
+    # fused discovery always routes through it, exactly like
+    # checkpointed/resumed runs do.
+    if (
+        args.checkpoint
+        or args.resume
+        or args.append
+        or args.ingest == "fused"
+    ):
         return _cmd_discover_incremental(args, overrides)
     if args.input is None:
         print(
@@ -355,7 +381,11 @@ def _cmd_discover_incremental(
     sources = [args.input] if args.input else []
     sources.extend(args.append)
     for source in sources:
-        state.absorb_many(_read_input(source, args.on_bad_record))
+        if args.ingest == "fused":
+            for tau in _read_input(source, args.on_bad_record, "fused"):
+                state.absorb_type(tau)
+        else:
+            state.absorb_many(_read_input(source, args.on_bad_record))
     if state.record_count == 0:
         print("error: input contains no records", file=sys.stderr)
         return 2

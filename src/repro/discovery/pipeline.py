@@ -315,6 +315,7 @@ class JxplainPipeline(Discoverer):
         sample_seed: int = 0,
         executor=None,
         robustness: Optional[RobustnessConfig] = None,
+        ingest: str = "classic",
     ):
         """``heuristic_sample`` enables §4.2's sampling mitigation:
         passes ① and ② run on a Bernoulli sample of that fraction,
@@ -331,9 +332,18 @@ class JxplainPipeline(Discoverer):
         retry policy supervises every per-partition task of every pass
         (on whichever backend the dataset carries), and its
         ``on_bad_record`` policy governs :meth:`run_file` ingestion.
+
+        ``ingest`` selects how :meth:`run_file` reads files:
+        ``"classic"`` parses values, ``"fused"`` streams interned
+        record types via :mod:`repro.io.fastpath` (same schema, same
+        report, one pass over the bytes).
         """
+        from repro.io.jsonlines import _check_ingest_mode
+
         self.config = config or JxplainConfig()
         self.config.validate()
+        _check_ingest_mode(ingest)
+        self.ingest = ingest
         self.num_partitions = num_partitions
         self.use_fold = use_fold
         if heuristic_sample is not None and not 0.0 < heuristic_sample <= 1.0:
@@ -509,15 +519,25 @@ class JxplainPipeline(Discoverer):
             timer = StageTimer()
             reports = []
             with timer.stage("resume-absorb"):
-                from repro.io.jsonlines import ingest_jsonlines
+                if self.ingest == "fused":
+                    from repro.io.fastpath import absorb_jsonlines_fused
 
-                for new_file in new_files:
-                    records, report = ingest_jsonlines(
-                        new_file, on_bad_record=policy
-                    )
-                    reports.append(report)
-                    for record in records:
-                        state.absorb(record)
+                    for new_file in new_files:
+                        reports.append(
+                            absorb_jsonlines_fused(
+                                state, new_file, on_bad_record=policy
+                            )
+                        )
+                else:
+                    from repro.io.jsonlines import ingest_jsonlines
+
+                    for new_file in new_files:
+                        records, report = ingest_jsonlines(
+                            new_file, on_bad_record=policy
+                        )
+                        reports.append(report)
+                        for record in records:
+                            state.absorb(record)
             with timer.stage("resume-synthesis"):
                 (
                     schema,
@@ -548,6 +568,7 @@ class JxplainPipeline(Discoverer):
                 self.num_partitions,
                 executor=self.executor,
                 on_bad_record=policy,
+                ingest=self.ingest,
             )
             if dataset is None:
                 dataset, ingest_report = part, part.ingest_report

@@ -39,6 +39,28 @@ U = TypeVar("U")
 #: Default number of partitions for new datasets.
 DEFAULT_PARTITIONS = 4
 
+#: Floor on records per partition when partitioning adaptively
+#: (``num_partitions=None``).  Below this, per-task dispatch overhead
+#: (pickling, queue hops) dominates the work a partition carries.
+MIN_RECORDS_PER_PARTITION = 1024
+
+
+def adaptive_partitions(record_count: int, workers: int) -> int:
+    """Partition count balancing parallelism against dispatch overhead.
+
+    One partition per worker, but never so many that a partition falls
+    under :data:`MIN_RECORDS_PER_PARTITION` records — small inputs
+    collapse toward a single partition, where serial dispatch wins.
+    This is opt-in (``num_partitions=None``): explicit counts, and the
+    default of :data:`DEFAULT_PARTITIONS`, are respected verbatim
+    because ``sample()`` results are a function of the partition
+    layout.
+    """
+    if record_count <= 0:
+        return 1
+    by_size = max(1, record_count // MIN_RECORDS_PER_PARTITION)
+    return max(1, min(max(1, workers), by_size))
+
 
 # -- per-partition task bodies ------------------------------------------------
 #
@@ -116,11 +138,22 @@ class LocalDataset(Generic[T]):
     def from_records(
         cls,
         records: Iterable[T],
-        num_partitions: int = DEFAULT_PARTITIONS,
+        num_partitions: Optional[int] = DEFAULT_PARTITIONS,
         *,
         executor: Optional[Executor] = None,
     ) -> "LocalDataset[T]":
-        """Round-robin the records into ``num_partitions`` partitions."""
+        """Round-robin the records into ``num_partitions`` partitions.
+
+        ``num_partitions=None`` sizes the layout adaptively from the
+        record count and the executor's worker count (see
+        :func:`adaptive_partitions`); note the resulting layout — and
+        therefore ``sample()`` — then depends on both.
+        """
+        if num_partitions is None:
+            records = list(records)
+            num_partitions = adaptive_partitions(
+                len(records), resolve_executor(executor).workers
+            )
         if num_partitions <= 0:
             raise EngineError("num_partitions must be positive")
         partitions: List[List[T]] = [[] for _ in range(num_partitions)]
@@ -132,10 +165,11 @@ class LocalDataset(Generic[T]):
     def from_jsonlines(
         cls,
         path,
-        num_partitions: int = DEFAULT_PARTITIONS,
+        num_partitions: Optional[int] = DEFAULT_PARTITIONS,
         *,
         executor: Optional[Executor] = None,
         on_bad_record: str = "raise",
+        ingest: str = "classic",
     ) -> "LocalDataset":
         """Ingest a ``.jsonl`` file straight into a dataset.
 
@@ -144,10 +178,28 @@ class LocalDataset(Generic[T]):
         per-file :class:`~repro.io.jsonlines.IngestReport` is attached
         to the returned dataset as :attr:`ingest_report` (derived
         datasets do not inherit it — it describes this one file).
-        """
-        from repro.io.jsonlines import ingest_jsonlines
 
-        records, report = ingest_jsonlines(path, on_bad_record=on_bad_record)
+        ``ingest="fused"`` loads the records' interned *types* (via
+        :func:`repro.io.fastpath.ingest_jsonlines_fused`) instead of
+        their values — the natural input for type-level discovery.
+        ``num_partitions=None`` picks the partition count adaptively
+        (see :meth:`from_records`).
+        """
+        from repro.io.jsonlines import _check_ingest_mode
+
+        _check_ingest_mode(ingest)
+        if ingest == "fused":
+            from repro.io.fastpath import ingest_jsonlines_fused
+
+            records, report = ingest_jsonlines_fused(
+                path, on_bad_record=on_bad_record
+            )
+        else:
+            from repro.io.jsonlines import ingest_jsonlines
+
+            records, report = ingest_jsonlines(
+                path, on_bad_record=on_bad_record
+            )
         dataset = cls.from_records(
             records, num_partitions, executor=executor
         )

@@ -361,6 +361,21 @@ class ThreadExecutor(_PooledExecutor):
         return list(self._ensure_pool().map(fn, items))
 
 
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the hot modules in each worker.
+
+    The first task a fresh worker runs otherwise pays the full import
+    of the type system and the discovery codec *inside* the measured
+    region — on small inputs that import tax is most of the wall time
+    (the BENCH_PR1 processes-vs-serial regression at 4k records).
+    Importing here also re-creates each worker's intern pool and
+    primitive singletons before any task needs them.
+    """
+    import repro.discovery.codec  # noqa: F401
+    import repro.discovery.state  # noqa: F401
+    import repro.jsontypes.types  # noqa: F401
+
+
 class ProcessExecutor(_PooledExecutor):
     """Process-pool backend with graceful serial fallback.
 
@@ -390,7 +405,9 @@ class ProcessExecutor(_PooledExecutor):
     def _make_pool(self):
         from concurrent.futures import ProcessPoolExecutor
 
-        return ProcessPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_warm_worker
+        )
 
     def _note_fallback(self, error: BaseException) -> None:
         self._last_fallback_error = f"{type(error).__name__}: {error}"

@@ -1,8 +1,15 @@
-"""IO: JSON-lines streaming (with an error channel) and sampling."""
+"""IO: JSON-lines streaming (with an error channel), the fused
+bytes-to-type fast path, and sampling."""
 
+from repro.io.fastpath import (
+    absorb_jsonlines_fused,
+    ingest_jsonlines_fused,
+    read_jsonlines_fused,
+)
 from repro.io.jsonlines import (
     BAD_PAYLOAD_LIMIT,
     BadRecord,
+    INGEST_MODES,
     INGEST_POLICIES,
     IngestReport,
     ingest_jsonlines,
@@ -24,16 +31,20 @@ from repro.io.sampling import (
 __all__ = [
     "BAD_PAYLOAD_LIMIT",
     "BadRecord",
+    "INGEST_MODES",
     "INGEST_POLICIES",
     "IngestReport",
     "PAPER_TEST_FRACTION",
     "PAPER_TRAINING_FRACTIONS",
     "PAPER_TRIALS",
     "TrainTestSplit",
+    "absorb_jsonlines_fused",
     "ingest_jsonlines",
+    "ingest_jsonlines_fused",
     "load_jsonlines",
     "paper_protocol",
     "read_jsonlines",
+    "read_jsonlines_fused",
     "train_test_split",
     "trial_samples",
     "uniform_sample",

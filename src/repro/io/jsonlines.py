@@ -18,14 +18,24 @@ must not abort a million-record run, so ingestion supports three
 
 Every read fills a per-file :class:`IngestReport`; pass your own to
 :func:`read_jsonlines` to observe it, or use :func:`ingest_jsonlines`
-to get ``(records, report)`` in one call.  Byte offsets are measured
-from the start of the (decompressed) stream; lines are read with
-newline translation disabled so offsets are exact even for CRLF files.
+to get ``(records, report)`` in one call.  Files are read as raw
+bytes and split on ``\\n`` only, so byte offsets are sums of raw line
+lengths in the (decompressed) stream — exact for CRLF files and for
+multi-byte UTF-8 content alike, with no re-encoding step that could
+drift.  Each line is decoded to UTF-8 individually; a line that is
+not valid UTF-8 is a bad record under the active policy rather than a
+stream-killing exception.
 
 Tolerated without counting as errors: blank lines, and a UTF-8 BOM at
 the start of the file.  Lines whose JSON is syntactically valid but
 abusive (e.g. nesting past the recursion limit) are treated as bad
 records rather than crashing the reader.
+
+:mod:`repro.io.fastpath` provides the fused variant of this reader —
+same files, same policies, same report accounting, but yielding
+interned record *types* directly; ``ingest="fused"`` on
+:func:`load_jsonlines` (and on the dataset/pipeline/CLI layers above)
+selects it.
 """
 
 from __future__ import annotations
@@ -44,11 +54,15 @@ PathLike = Union[str, FsPath]
 #: The recognised ``on_bad_record`` policies.
 INGEST_POLICIES = ("raise", "skip", "collect")
 
+#: The recognised ingestion modes: the classic value reader and the
+#: fused bytes\u2192type reader of :mod:`repro.io.fastpath`.
+INGEST_MODES = ("classic", "fused")
+
 #: Longest bad-line payload retained under the ``collect`` policy.
 BAD_PAYLOAD_LIMIT = 160
 
-#: The UTF-8 byte-order mark, as decoded text.
-_BOM = "\ufeff"
+#: The UTF-8 byte-order mark, as raw bytes (readers work on bytes).
+_BOM_BYTES = b"\xef\xbb\xbf"
 
 
 @dataclass(frozen=True)
@@ -113,12 +127,31 @@ def _open_text(path: PathLike, mode: str, newline: Optional[str] = None) -> IO[s
     return open(path, mode, encoding="utf-8", newline=newline)
 
 
+def _open_binary(path: PathLike) -> IO[bytes]:
+    """Open a (possibly gzipped) file as a raw byte stream.
+
+    Line iteration over the result splits on ``\\n`` only, matching
+    text mode with newline translation disabled; byte offsets are then
+    plain sums of line lengths.
+    """
+    path = FsPath(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
 def _check_policy(on_bad_record: str) -> None:
     if on_bad_record not in INGEST_POLICIES:
         known = ", ".join(INGEST_POLICIES)
         raise DatasetError(
             f"unknown on_bad_record policy {on_bad_record!r}; known: {known}"
         )
+
+
+def _check_ingest_mode(ingest: str) -> None:
+    if ingest not in INGEST_MODES:
+        known = ", ".join(INGEST_MODES)
+        raise DatasetError(f"unknown ingest mode {ingest!r}; known: {known}")
 
 
 def read_jsonlines(
@@ -141,19 +174,22 @@ def read_jsonlines(
         report.policy = on_bad_record
     keep_payload = on_bad_record == "collect"
     byte_offset = 0
-    # newline="" disables translation so offsets track raw bytes.
-    with _open_text(path, "r", newline="") as handle:
+    # Raw bytes in, one decode per line: offsets are sums of raw line
+    # lengths (exact for multi-byte UTF-8 with no re-encoding), and a
+    # line that is not valid UTF-8 is a policy-governed bad record
+    # (UnicodeDecodeError is a ValueError) instead of a stream killer.
+    with _open_binary(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             line_offset = byte_offset
-            byte_offset += len(line.encode("utf-8"))
+            byte_offset += len(line)
             report.total_lines = line_number
-            if line_number == 1 and line.startswith(_BOM):
-                line = line[len(_BOM):]
+            if line_number == 1 and line.startswith(_BOM_BYTES):
+                line = line[len(_BOM_BYTES):]
             stripped = line.strip()
             if not stripped:
                 continue
             try:
-                value = json.loads(stripped)
+                value = json.loads(stripped.decode("utf-8"))
             except (ValueError, RecursionError) as exc:
                 if on_bad_record == "raise":
                     raise DatasetError(
@@ -165,7 +201,11 @@ def read_jsonlines(
                         byte_offset=line_offset,
                         error=f"{type(exc).__name__}: {exc}",
                         payload=(
-                            stripped[:BAD_PAYLOAD_LIMIT] if keep_payload else ""
+                            stripped.decode("utf-8", "replace")[
+                                :BAD_PAYLOAD_LIMIT
+                            ]
+                            if keep_payload
+                            else ""
                         ),
                     )
                 )
@@ -209,6 +249,22 @@ def write_jsonlines(path: PathLike, records: Iterable[JsonValue]) -> int:
     return count
 
 
-def load_jsonlines(path: PathLike, *, on_bad_record: str = "raise") -> list:
-    """Read a whole ``.jsonl`` file into a list."""
+def load_jsonlines(
+    path: PathLike,
+    *,
+    on_bad_record: str = "raise",
+    ingest: str = "classic",
+) -> list:
+    """Read a whole ``.jsonl`` file into a list.
+
+    ``ingest="classic"`` returns parsed values; ``ingest="fused"``
+    returns the records' interned *types* (see
+    :mod:`repro.io.fastpath`) — the right input for anything that is a
+    function of types only, at a fraction of the parse cost.
+    """
+    _check_ingest_mode(ingest)
+    if ingest == "fused":
+        from repro.io.fastpath import read_jsonlines_fused
+
+        return list(read_jsonlines_fused(path, on_bad_record=on_bad_record))
     return list(read_jsonlines(path, on_bad_record=on_bad_record))

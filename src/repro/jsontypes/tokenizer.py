@@ -1,0 +1,280 @@
+"""Bytes-to-type scanning: build interned :class:`JsonType`\\ s from
+raw JSON-lines bytes without materializing the value tree.
+
+Classic ingestion runs every line through ``json.loads`` (building a
+Python dict/list tree) and then :func:`~repro.jsontypes.types.type_of`
+(walking that tree to build the type, then discarding the tree).  For
+schema discovery the tree is pure waste — only the type survives.
+This module removes it in two layers:
+
+**The type scanner** (:func:`scan_type`) parses a line with a
+``json.JSONDecoder`` whose hooks construct interned types *during*
+parsing: every object literal becomes an interned
+:class:`~repro.jsontypes.types.ObjectType` the moment its closing
+brace is consumed, every number collapses to the ``NUMBER`` singleton
+without ever becoming a float.  The C scanner still does the
+tokenizing, so error positions and messages are byte-for-byte those of
+``json.loads`` — which is what keeps the fused reader's error channel
+identical to the classic one.
+
+**The structural skeleton** (:func:`structural_skeleton`) is the fast
+path over the scanner: a cheap, collision-safe summary of a line's
+*key shape* computed with a handful of C-level string operations (one
+``translate`` guard, one ``split`` on quotes, one number-normalizing
+regex).  Its contract is::
+
+    skeleton(a) == skeleton(b)  and  both not None
+        implies  scan_type(a) is scan_type(b)   (valid lines)
+        and      a malformed iff b malformed    (invalid lines)
+
+so a bounded :class:`ShapeCache` keyed on skeletons can serve repeated
+record shapes without re-parsing, and a malformed line can never hit a
+cache entry left by a valid one.  The contract is *conservative*:
+lines containing escapes, control bytes, or non-ASCII bytes get no
+skeleton (``None``) and simply take the scanner path — a hit-rate
+loss, never a correctness loss.
+
+Why the skeleton is collision-safe (each rule maps to a guard below):
+
+* Quotes, backslashes, and control bytes never occur inside UTF-8
+  multi-byte sequences, and the guard rejects any line containing a
+  backslash, a control byte, or a non-ASCII byte — so splitting the
+  raw bytes on ``"`` exactly alternates outside-string and
+  inside-string spans, and byte equality coincides with text equality.
+* An even split count means an unterminated string: no skeleton.
+* Outside-string spans are kept verbatim (punctuation, ``true`` /
+  ``false`` / ``null``, *and any garbage*), except that number
+  literals are normalized to ``0`` by a regex that matches exactly the
+  JSON number grammar — so two lines share a skeleton only if they
+  agree on everything outside strings up to valid-number spelling.
+  Invalid almost-numbers (``00``, ``1.``, ``+5``) are *not* fully
+  absorbed by the regex and stay distinct from every valid spelling.
+* Inside-string spans that are object keys (the following outside
+  span starts with ``:`` after optional spaces) are kept verbatim;
+  value-string contents are dropped.  Which positions are keys is
+  itself a function of the outside spans, which the skeleton already
+  pins.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.jsontypes import types as _types
+from repro.jsontypes.types import (
+    ArrayType,
+    BOOLEAN,
+    JsonType,
+    MAX_DEPTH,
+    NULL,
+    NUMBER,
+    ObjectType,
+    STRING,
+    _intern,
+)
+
+#: Bytes whose presence disqualifies a line from skeletonization:
+#: control bytes (string escapes / malformed strings / exotic
+#: whitespace), the backslash (escape sequences break quote
+#: alternation), and everything non-ASCII (multi-byte text and invalid
+#: UTF-8 must reach the real decoder).  Deleting these via
+#: ``bytes.translate`` and comparing lengths is a single C scan.
+UNSAFE_BYTES = bytes(range(0x20)) + b"\\" + bytes(range(0x80, 0x100))
+
+#: Exactly the JSON number grammar (RFC 8259 §6), over bytes.
+NUMBER_RE = re.compile(rb"-?(?:0|[1-9]\d*)(?:\.\d+)?(?:[eE][+-]?\d+)?")
+
+#: Joins outside-string spans in skeletons; cannot occur in a
+#: skeletonizable line (it is a control byte).
+_SPAN_SEP = b"\x01"
+
+#: A skeleton: (normalized outside-string text, object-key tuple).
+Skeleton = Tuple[bytes, Tuple[bytes, ...]]
+
+
+def structural_skeleton(line: bytes) -> Optional[Skeleton]:
+    """The key-shape skeleton of one stripped JSON-lines line.
+
+    Returns ``None`` when the line is not eligible (escapes, control
+    bytes, non-ASCII, unterminated string) — callers treat that as a
+    cache miss.  See the module docstring for the safety argument.
+    """
+    if len(line.translate(None, UNSAFE_BYTES)) != len(line):
+        return None
+    parts = line.split(b'"')
+    if len(parts) % 2 == 0:
+        return None
+    outs = parts[0::2]
+    keys = tuple(
+        span
+        for span, nxt in zip(parts[1::2], outs[1:])
+        if nxt[:1] == b":" or (nxt[:1] == b" " and nxt.lstrip()[:1] == b":")
+    )
+    return NUMBER_RE.sub(b"0", _SPAN_SEP.join(outs)), keys
+
+
+def line_token_count(line: bytes) -> int:
+    """String + number token count of a line (throughput metric).
+
+    Counts quote-delimited strings and valid number literals outside
+    strings; punctuation and keyword literals are not counted.  For
+    escape-bearing or non-ASCII lines this is approximate (escaped
+    quotes split strings), which is fine for a rate denominator.
+    """
+    parts = line.split(b'"')
+    outside = _SPAN_SEP.join(parts[0::2])
+    return len(parts) // 2 + len(NUMBER_RE.findall(outside))
+
+
+# ---------------------------------------------------------------------------
+# The hooked decoder: parse straight into interned types.
+# ---------------------------------------------------------------------------
+
+
+def _as_type(value) -> JsonType:
+    # Hook outputs arrive here either as already-built JsonTypes
+    # (nested objects), raw lists (arrays — json has no array hook),
+    # or raw primitives the parse hooks could not intercept.
+    if type(value) is list:
+        return _list_type(value)
+    if isinstance(value, JsonType):
+        return value
+    if value is None:
+        return NULL
+    if value is True or value is False:
+        return BOOLEAN
+    # Strings are the only other value the hooks let through.
+    return STRING
+
+
+def _list_type(root: list) -> JsonType:
+    # Post-order over an explicit stack: the C scanner parses arrays
+    # nested as deep as its own recursion allows (matching the classic
+    # reader), and converting them must not re-impose a smaller Python
+    # recursion bound.  Frame: [source list, next index, built types].
+    frames = [[root, 0, []]]
+    while True:
+        frame = frames[-1]
+        source, index, converted = frame
+        if index < len(source):
+            frame[1] = index + 1
+            item = source[index]
+            if type(item) is list:
+                frames.append([item, 0, []])
+            else:
+                converted.append(_as_type(item))
+        else:
+            frames.pop()
+            built = ArrayType(tuple(converted))
+            tau = _intern(built) if _types._INTERN_ENABLED else built
+            if not frames:
+                return tau
+            frames[-1][2].append(tau)
+
+
+def _pairs_hook(pairs) -> JsonType:
+    built = ObjectType({key: _as_type(value) for key, value in pairs})
+    return _intern(built) if _types._INTERN_ENABLED else built
+
+
+def _number_hook(_literal: str) -> JsonType:
+    return NUMBER
+
+
+_DECODER = json.JSONDecoder(
+    object_pairs_hook=_pairs_hook,
+    parse_float=_number_hook,
+    parse_int=_number_hook,
+    parse_constant=_number_hook,
+)
+
+
+def scan_type(text: str) -> JsonType:
+    """Parse one JSON document into its (interned) :class:`JsonType`.
+
+    Equivalent to ``type_of(json.loads(text))`` — same result object
+    under interning, same ``ValueError`` / ``RecursionError`` with the
+    same message on malformed input — but never builds the value tree.
+    The ``type_of`` depth bound is *not* applied here; callers that
+    need it use :func:`depth_exceeds` after a successful scan.
+    """
+    return _as_type(_DECODER.decode(text))
+
+
+def depth_exceeds(tau: JsonType, max_depth: int = MAX_DEPTH) -> bool:
+    """Whether a type nests deeper than ``max_depth``, iteratively.
+
+    Mirrors the bound ``type_of`` enforces during extraction; iterative
+    so a pathological 900-deep type cannot overflow the checker itself.
+    """
+    stack = [(tau, 1)]
+    while stack:
+        node, depth = stack.pop()
+        if depth > max_depth:
+            return True
+        for child in node.children():
+            stack.append((child, depth + 1))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The bounded shape cache.
+# ---------------------------------------------------------------------------
+
+#: Default bound on distinct shapes retained by a :class:`ShapeCache`.
+DEFAULT_SHAPE_CACHE_SIZE = 65536
+
+
+class ShapeCache:
+    """A bounded skeleton → interned-type map with eviction stats.
+
+    Eviction is deterministic insertion-order FIFO: when the bound is
+    hit, the oldest-inserted shape is dropped.  Hits do not refresh
+    recency — a hit needs no bookkeeping at all, which keeps the fast
+    path at one dict lookup — so the policy is a pure function of the
+    miss sequence.  Evicting is always safe: a dropped shape's next
+    occurrence re-parses and re-interns to the same type object.
+    """
+
+    __slots__ = ("max_size", "hits", "misses", "evictions", "_table")
+
+    def __init__(self, max_size: int = DEFAULT_SHAPE_CACHE_SIZE):
+        if max_size <= 0:
+            raise ValueError("ShapeCache max_size must be positive")
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._table: Dict[Skeleton, JsonType] = {}
+
+    def get(self, skeleton: Skeleton) -> Optional[JsonType]:
+        return self._table.get(skeleton)
+
+    def put(self, skeleton: Skeleton, tau: JsonType) -> None:
+        table = self._table
+        if skeleton not in table and len(table) >= self.max_size:
+            del table[next(iter(table))]
+            self.evictions += 1
+        table[skeleton] = tau
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, skeleton: Skeleton) -> bool:
+        return skeleton in self._table
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._table),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShapeCache size={len(self._table)}/{self.max_size}"
+            f" hits={self.hits} misses={self.misses}>"
+        )

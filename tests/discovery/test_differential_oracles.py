@@ -15,6 +15,10 @@ streams:
   universal claim there.
 * **Backend determinism** — the staged pipeline yields byte-identical
   JSON Schema output under serial, thread, and process executors.
+* **Fused ≡ classic ingestion** — streaming a file through the fused
+  bytes→type reader produces the same ``DiscoveryState.to_bytes()`` as
+  the classic parse-then-type fold, for every algorithm, on clean and
+  malformed corpora alike, and across checkpoint/resume interleavings.
 """
 
 from __future__ import annotations
@@ -25,7 +29,10 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.discovery import JxplainPipeline, KReduce, LReduce, make_discoverer
+from repro.discovery.state import load_state, save_state, state_for_algorithm
 from repro.engine import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.io.fastpath import absorb_jsonlines_fused, ingest_jsonlines_fused
+from repro.io.jsonlines import ingest_jsonlines
 from repro.schema import schema_entropy, to_json_schema
 
 from tests.conftest import json_keys, json_primitives
@@ -167,3 +174,111 @@ def test_discoverers_are_pure_functions_of_input(records):
         first = make().discover(list(records))
         second = make().discover(list(records))
         assert schema_bytes(first) == schema_bytes(second)
+
+
+# ---------------------------------------------------------------------------
+# Oracle 4: fused ingestion is byte-identical to classic ingestion.
+# ---------------------------------------------------------------------------
+
+STATE_ALGORITHMS = ("l-reduce", "k-reduce", "jxplain")
+
+#: Lines the fused reader must handle identically to the classic one:
+#: garbage, almost-numbers, unterminated strings, raw control bytes,
+#: invalid UTF-8, and blanks (which are tolerated, not errors).
+malformed_lines = st.sampled_from(
+    [
+        b"not json at all",
+        b'{"a": 00}',
+        b'{"a": 1.}',
+        b'{"unterminated": "...',
+        b'{"nul": "\x00"}',
+        b'{"bad-utf8": "\xff\xfe"}',
+        b"[1, 2,]",
+        b"{",
+        b"",
+        b"   ",
+    ]
+)
+
+
+def _mixed_corpus():
+    """Records interleaved with malformed byte lines."""
+    good = st.builds(
+        lambda record: json.dumps(record, separators=(",", ":")).encode(),
+        st.dictionaries(json_keys, shallow_values, max_size=5),
+    )
+    return st.lists(st.one_of(good, malformed_lines), min_size=1, max_size=20)
+
+
+def _write_lines(path, lines):
+    with open(path, "wb") as handle:
+        for line in lines:
+            handle.write(line + b"\n")
+
+
+def _report_key(report):
+    return (
+        report.total_lines,
+        report.record_count,
+        [
+            (bad.line_number, bad.byte_offset, bad.error, bad.payload)
+            for bad in report.bad_records
+        ],
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(lines=_mixed_corpus())
+def test_fused_state_bytes_equal_classic_on_malformed_corpora(
+    lines, tmp_path_factory
+):
+    path = tmp_path_factory.mktemp("fused") / "corpus.jsonl"
+    _write_lines(path, lines)
+    records, classic_report = ingest_jsonlines(path, on_bad_record="collect")
+    types, fused_report = ingest_jsonlines_fused(
+        path, on_bad_record="collect"
+    )
+    assert _report_key(fused_report) == _report_key(classic_report)
+    for algorithm in STATE_ALGORITHMS:
+        classic_state = state_for_algorithm(algorithm, None)
+        classic_state.absorb_many(records)
+        fused_state = state_for_algorithm(algorithm, None)
+        for tau in types:
+            fused_state.absorb_type(tau)
+        assert classic_state.to_bytes() == fused_state.to_bytes(), algorithm
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(lines=_mixed_corpus(), split=st.integers(0, 20), data=st.data())
+def test_fused_checkpoint_resume_matches_one_shot(
+    lines, split, data, tmp_path_factory
+):
+    """Absorb-checkpoint-reload-absorb under fused ingestion equals a
+    one-shot classic fold over the concatenation."""
+    algorithm = data.draw(st.sampled_from(STATE_ALGORITHMS))
+    base = tmp_path_factory.mktemp("fused-resume")
+    split = min(split, len(lines))
+    first, second = lines[:split], lines[split:]
+    _write_lines(base / "first.jsonl", first)
+    _write_lines(base / "second.jsonl", second)
+    _write_lines(base / "whole.jsonl", lines)
+
+    oneshot = state_for_algorithm(algorithm, None)
+    oneshot.absorb_many(
+        ingest_jsonlines(base / "whole.jsonl", on_bad_record="skip")[0]
+    )
+
+    interleaved = state_for_algorithm(algorithm, None)
+    absorb_jsonlines_fused(
+        interleaved, base / "first.jsonl", on_bad_record="skip"
+    )
+    save_state(interleaved, base / "ckpt.bin")
+    resumed = load_state(base / "ckpt.bin")
+    absorb_jsonlines_fused(
+        resumed, base / "second.jsonl", on_bad_record="skip"
+    )
+    assert resumed.to_bytes() == oneshot.to_bytes()

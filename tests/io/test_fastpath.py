@@ -1,0 +1,172 @@
+"""The fused reader against the classic one, and the raw-byte offset
+contract both readers now share.
+
+The pinned fixture here is deliberately non-ASCII: byte offsets must
+come from the raw buffer, so a line of multi-byte UTF-8 ahead of a bad
+record shifts the recorded offset by its *byte* length, not its
+character length.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.engine.dataset import LocalDataset
+from repro.errors import DatasetError
+from repro.io.fastpath import (
+    absorb_jsonlines_fused,
+    ingest_jsonlines_fused,
+    read_jsonlines_fused,
+)
+from repro.io.jsonlines import (
+    IngestReport,
+    ingest_jsonlines,
+    load_jsonlines,
+)
+from repro.jsontypes.tokenizer import ShapeCache
+from repro.jsontypes.types import type_of
+
+#: Three lines: 2-byte-per-char Greek, a 4-byte emoji, then garbage.
+#: The garbage line's byte offset is the sum of the *byte* lengths of
+#: the lines before it — 21 + 14 = 35 — which a character-counting
+#: reader would misreport as 15 + 11 = 26.
+NON_ASCII_LINES = [
+    '{"λ": "αβγδε"}',  # 14 chars, 21 bytes (with newline)
+    '{"e": "🌍"}',  # 10 chars, 14 bytes (with newline)
+    "garbage",
+]
+GARBAGE_OFFSET = 21 + 14
+
+
+def _write(path, lines, *, compress=False, bom=False):
+    payload = b"".join(line.encode("utf-8") + b"\n" for line in lines)
+    if bom:
+        payload = b"\xef\xbb\xbf" + payload
+    if compress:
+        path.write_bytes(gzip.compress(payload))
+    else:
+        path.write_bytes(payload)
+    return path
+
+
+@pytest.mark.parametrize("compress", [False, True], ids=["plain", "gzip"])
+def test_multibyte_offsets_are_raw_byte_exact_in_both_modes(
+    tmp_path, compress
+):
+    suffix = ".jsonl.gz" if compress else ".jsonl"
+    path = _write(
+        tmp_path / f"multibyte{suffix}", NON_ASCII_LINES, compress=compress
+    )
+    records, classic = ingest_jsonlines(path, on_bad_record="collect")
+    types, fused = ingest_jsonlines_fused(path, on_bad_record="collect")
+    for report in (classic, fused):
+        assert report.record_count == 2
+        assert report.bad_line_numbers() == [3]
+        assert report.bad_records[0].byte_offset == GARBAGE_OFFSET
+        assert report.bad_records[0].payload == "garbage"
+    assert [type_of(record) for record in records] == types
+
+
+def test_fused_matches_classic_on_bom_and_blank_lines(tmp_path):
+    path = _write(
+        tmp_path / "bom.jsonl",
+        ['{"a": 1}', "", "   ", '{"a": 2}'],
+        bom=True,
+    )
+    records, classic = ingest_jsonlines(path, on_bad_record="skip")
+    types, fused = ingest_jsonlines_fused(path, on_bad_record="skip")
+    assert classic == fused
+    assert fused.record_count == 2
+    assert [type_of(record) for record in records] == types
+
+
+def test_fused_raise_policy_matches_classic_message(tmp_path):
+    path = _write(tmp_path / "bad.jsonl", ['{"a": 1}', "{nope"])
+    with pytest.raises(DatasetError) as classic_error:
+        list(ingest_jsonlines(path, on_bad_record="raise")[0])
+    with pytest.raises(DatasetError) as fused_error:
+        list(read_jsonlines_fused(path, on_bad_record="raise"))
+    assert str(fused_error.value) == str(classic_error.value)
+
+
+def test_fused_hits_do_not_reparse_and_preserve_identity(tmp_path):
+    lines = ['{"a": %d, "b": "%s"}' % (i, "x" * (i % 3)) for i in range(50)]
+    path = _write(tmp_path / "repeat.jsonl", lines)
+    cache = ShapeCache()
+    types, report = ingest_jsonlines_fused(path, shape_cache=cache)
+    assert report.record_count == 50
+    # One shape → one miss, everything else served from the cache.
+    assert cache.misses == 1
+    assert cache.hits == 49
+    assert len(set(map(id, types))) == 1
+
+
+def test_shape_cache_can_be_shared_across_files(tmp_path):
+    first = _write(tmp_path / "one.jsonl", ['{"k": 1}'] * 3)
+    second = _write(tmp_path / "two.jsonl", ['{"k": 2}'] * 3)
+    cache = ShapeCache()
+    ingest_jsonlines_fused(first, shape_cache=cache)
+    ingest_jsonlines_fused(second, shape_cache=cache)
+    assert cache.misses == 1
+    assert cache.hits == 5
+
+
+def test_absorb_fused_streams_into_state(tmp_path):
+    from repro.discovery.state import state_for_algorithm
+
+    path = _write(tmp_path / "s.jsonl", ['{"a": 1}', '{"a": 1, "b": "x"}'])
+    fused_state = state_for_algorithm("l-reduce", None)
+    report = absorb_jsonlines_fused(fused_state, path)
+    assert isinstance(report, IngestReport)
+    assert report.record_count == 2
+    classic_state = state_for_algorithm("l-reduce", None)
+    classic_state.absorb_many(ingest_jsonlines(path)[0])
+    assert fused_state.to_bytes() == classic_state.to_bytes()
+
+
+def test_load_jsonlines_ingest_modes(tmp_path):
+    path = _write(tmp_path / "load.jsonl", ['{"a": 1}'])
+    assert load_jsonlines(path) == [{"a": 1}]
+    assert load_jsonlines(path, ingest="fused") == [type_of({"a": 1})]
+    with pytest.raises(DatasetError, match="unknown ingest mode"):
+        load_jsonlines(path, ingest="warp")
+
+
+def test_dataset_from_jsonlines_fused(tmp_path):
+    path = _write(tmp_path / "ds.jsonl", ['{"a": 1}', '{"b": [1]}'] * 4)
+    dataset = LocalDataset.from_jsonlines(path, ingest="fused")
+    assert dataset.ingest_report.record_count == 8
+    assert sorted(map(repr, set(dataset.collect()))) == sorted(
+        map(repr, {type_of({"a": 1}), type_of({"b": [1]})})
+    )
+    with pytest.raises(DatasetError, match="unknown ingest mode"):
+        LocalDataset.from_jsonlines(path, ingest="warp")
+
+
+def test_adaptive_partitioning_is_opt_in(tmp_path):
+    from repro.engine.dataset import adaptive_partitions
+
+    path = _write(tmp_path / "tiny.jsonl", ['{"a": 1}'] * 6)
+    # Explicit default: unchanged layout.
+    assert LocalDataset.from_jsonlines(path).num_partitions == 4
+    # Adaptive: six records collapse to one partition.
+    assert LocalDataset.from_jsonlines(path, None).num_partitions == 1
+    assert adaptive_partitions(0, 8) == 1
+    assert adaptive_partitions(100, 8) == 1
+    assert adaptive_partitions(4096, 8) == 4
+    assert adaptive_partitions(1_000_000, 8) == 8
+
+
+def test_fused_counters_flush_once_per_file(tmp_path):
+    from repro.engine.instrument import counters
+
+    path = _write(tmp_path / "c.jsonl", ['{"a": 1}'] * 5)
+    before = counters.snapshot().get("ingest.fused_records", 0)
+    list(read_jsonlines_fused(path))
+    after = counters.snapshot()
+    assert after["ingest.fused_records"] - before == 5
+    assert after.get("ingest.shape_hits", 0) >= 4
+    assert after.get("ingest.bytes", 0) > 0
