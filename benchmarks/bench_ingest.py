@@ -32,11 +32,11 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from benchmarks.conftest import emit
-from repro.datasets import make_dataset
+from benchmarks.corpus import write_corpus
 from repro.discovery import JxplainPipeline
 from repro.discovery.state import state_for_algorithm
 from repro.io.fastpath import absorb_jsonlines_fused
-from repro.io.jsonlines import read_jsonlines, write_jsonlines
+from repro.io.jsonlines import read_jsonlines
 from repro.jsontypes.tokenizer import ShapeCache, line_token_count
 from repro.schema import to_json_schema
 
@@ -142,9 +142,7 @@ def test_fused_ingestion():
         for name, size in INGEST_SIZES.items():
             scaled = max(200, int(size * SCALE))
             path = workdir / f"{name}.jsonl"
-            write_jsonlines(
-                path, make_dataset("github").generate(scaled, seed=11)
-            )
+            write_corpus(path, "github", scaled, seed=11)
             if small_path is None:
                 small_path = path
             report["corpora"][name] = _bench_ingest(

@@ -259,6 +259,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
 # ---------------------------------------------------------------------------
 
 #: Methods that hand their callable arguments to an executor backend.
+#: ``map_shards`` is the shard coordinator's fan-out: the callable (and
+#: its :class:`ShardTask` arguments) cross the process-pool boundary.
 FANOUT_METHODS = frozenset(
     {
         "map_list",
@@ -266,6 +268,7 @@ FANOUT_METHODS = frozenset(
         "flat_map",
         "filter",
         "map_partitions",
+        "map_shards",
         "aggregate",
         "tree_aggregate",
         "tree_aggregate_serialized",

@@ -117,6 +117,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="absorb this additional .jsonl file into the state "
         "(repeatable)",
     )
+    discover.add_argument(
+        "--shards", default=None, metavar="N|auto",
+        help="split the input into newline-aligned byte ranges and "
+        "discover them in parallel workers (auto sizes the shard "
+        "count adaptively); state and schema are byte-identical to "
+        "an unsharded run",
+    )
+    discover.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="with --shards: fan out over a process pool of N "
+        "workers (default: the REPRO_EXECUTOR backend)",
+    )
+    discover.add_argument(
+        "--merge-fanin", type=int, default=None, metavar="K",
+        help="with --shards: fan-in of the partial-state merge tree "
+        "(default 2; any value yields identical bytes)",
+    )
+    discover.add_argument(
+        "--num-partitions", default=None, metavar="N|auto",
+        help="dataset partition count for pipeline algorithms "
+        "(auto = adaptive from record count and worker count)",
+    )
 
     validate = sub.add_parser(
         "validate", help="validate records against a stored JSON Schema"
@@ -303,8 +325,37 @@ def _emit_schema(schema, args: argparse.Namespace) -> None:
         print(text)
 
 
+def _parse_count_or_auto(value: str, option: str):
+    """``"auto"`` → None (adaptive), else a positive int; errors exit 2."""
+    if value == "auto":
+        return None
+    try:
+        count = int(value)
+    except ValueError:
+        print(
+            f"error: {option} must be a positive integer or 'auto', "
+            f"got {value!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if count < 1:
+        print(f"error: {option} must be >= 1, got {count}", file=sys.stderr)
+        raise SystemExit(2)
+    return count
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     overrides = _discover_overrides(args)
+    if args.shards is None and (
+        args.workers is not None or args.merge_fanin is not None
+    ):
+        print(
+            "error: --workers/--merge-fanin require --shards",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards is not None:
+        return _cmd_discover_sharded(args, overrides)
     # Fused ingestion yields record *types*, and the state core is the
     # layer that canonically consumes types for every algorithm — so
     # fused discovery always routes through it, exactly like
@@ -336,7 +387,127 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             )
             return 2
         discoverer.config = discoverer.config.with_(**overrides)
+    if args.num_partitions is not None:
+        if not hasattr(discoverer, "num_partitions"):
+            print(
+                f"error: --num-partitions does not apply to "
+                f"{args.algorithm}",
+                file=sys.stderr,
+            )
+            return 2
+        discoverer.num_partitions = _parse_count_or_auto(
+            args.num_partitions, "--num-partitions"
+        )
     schema = discoverer.discover(records)
+    _emit_schema(schema, args)
+    return 0
+
+
+def _cmd_discover_sharded(args: argparse.Namespace, overrides: dict) -> int:
+    """Sharded discovery: byte-range fan-out via the shard coordinator.
+
+    Works for every algorithm (the coordinator goes through the state
+    core), composes with --checkpoint/--resume/--append, and — when a
+    checkpoint is requested — persists per-shard checkpoints so a
+    killed run resumes from completed shards.
+    """
+    import hashlib
+    import os
+    import shutil
+
+    from repro.discovery import JxplainConfig, load_state, save_state
+    from repro.engine.sharding import ShardCoordinator
+    from repro.errors import (
+        CheckpointError,
+        DatasetError,
+        EmptyInputError,
+        EngineError,
+    )
+
+    shards = _parse_count_or_auto(args.shards, "--shards")
+    executor = None
+    if args.workers is not None:
+        from repro.engine.executor import ProcessExecutor
+
+        executor = ProcessExecutor(max_workers=args.workers)
+    algorithm = args.algorithm
+    config = None
+    state = None
+    if args.resume:
+        if not args.checkpoint:
+            print("error: --resume requires --checkpoint", file=sys.stderr)
+            return 2
+        if overrides:
+            print(
+                "error: --threshold/--strategy options cannot change a "
+                "resumed state; they were fixed when it was created",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            state = load_state(args.checkpoint)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        algorithm = state.algorithm
+        config = getattr(state, "config", None)
+    elif overrides:
+        config = JxplainConfig().with_(**overrides)
+    sources = [args.input] if args.input else []
+    sources.extend(args.append)
+    fanin = (
+        {} if args.merge_fanin is None else {"merge_fanin": args.merge_fanin}
+    )
+    used_shard_dirs = []
+    try:
+        for source in sources:
+            shard_dir = None
+            if args.checkpoint:
+                digest = hashlib.sha256(
+                    str(source).encode("utf-8")
+                ).hexdigest()[:16]
+                shard_dir = os.path.join(
+                    f"{args.checkpoint}.shards", digest
+                )
+            coordinator = ShardCoordinator(
+                algorithm,
+                config,
+                executor=executor,
+                shards=shards,
+                on_bad_record=args.on_bad_record,
+                ingest=args.ingest,
+                checkpoint_dir=shard_dir,
+                **fanin,
+            )
+            run = coordinator.run(source)
+            if not run.report.ok:
+                print(f"warning: {run.report.summary()}", file=sys.stderr)
+            state = run.state if state is None else state.merge(run.state)
+            if shard_dir is not None:
+                used_shard_dirs.append(shard_dir)
+    except (ValueError, EngineError, CheckpointError, DatasetError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if executor is not None:
+            executor.close()
+    if state is None or state.record_count == 0:
+        print("error: input contains no records", file=sys.stderr)
+        return 2
+    try:
+        schema = state.synthesize()
+    except EmptyInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.checkpoint:
+        save_state(state, args.checkpoint)
+        for shard_dir in used_shard_dirs:
+            shutil.rmtree(shard_dir, ignore_errors=True)
+        for shard_dir in used_shard_dirs:
+            try:
+                os.rmdir(os.path.dirname(shard_dir))
+            except OSError:
+                pass
     _emit_schema(schema, args)
     return 0
 

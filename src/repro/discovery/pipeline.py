@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union as TUnion
 
-from repro.discovery.base import Discoverer
+from repro.discovery.base import Discoverer, register_discoverer
 from repro.discovery.codec import (
     dumps_bag,
     dumps_fold_node,
@@ -316,6 +316,8 @@ class JxplainPipeline(Discoverer):
         executor=None,
         robustness: Optional[RobustnessConfig] = None,
         ingest: str = "classic",
+        shards=None,
+        merge_fanin: Optional[int] = None,
     ):
         """``heuristic_sample`` enables §4.2's sampling mitigation:
         passes ① and ② run on a Bernoulli sample of that fraction,
@@ -337,6 +339,15 @@ class JxplainPipeline(Discoverer):
         ``"classic"`` parses values, ``"fused"`` streams interned
         record types via :mod:`repro.io.fastpath` (same schema, same
         report, one pass over the bytes).
+
+        ``shards`` switches :meth:`run_file` onto the sharded
+        byte-range path of :mod:`repro.engine.sharding`: ``"auto"``
+        sizes the shard count adaptively, an integer fixes it, and
+        ``None`` (default) keeps the in-driver ingestion.  Sharded
+        runs never materialize records in the driver — workers ship
+        serialized state partials, merged with fan-in ``merge_fanin``
+        — and produce byte-identical states/schemas to unsharded
+        runs.
         """
         from repro.io.jsonlines import _check_ingest_mode
 
@@ -344,6 +355,13 @@ class JxplainPipeline(Discoverer):
         self.config.validate()
         _check_ingest_mode(ingest)
         self.ingest = ingest
+        if shards is not None and shards != "auto":
+            if not isinstance(shards, int) or shards < 1:
+                raise ValueError(
+                    "shards must be None, 'auto', or a positive int"
+                )
+        self.shards = shards
+        self.merge_fanin = merge_fanin
         self.num_partitions = num_partitions
         self.use_fold = use_fold
         if heuristic_sample is not None and not 0.0 < heuristic_sample <= 1.0:
@@ -518,26 +536,35 @@ class JxplainPipeline(Discoverer):
             self.config = state.config
             timer = StageTimer()
             reports = []
-            with timer.stage("resume-absorb"):
-                if self.ingest == "fused":
-                    from repro.io.fastpath import absorb_jsonlines_fused
+            used_shard_dirs = []
+            if self.shards is not None:
+                if new_files:
+                    shard_state, reports, used_shard_dirs = (
+                        self._run_sharded(new_files, policy, timer, checkpoint)
+                    )
+                    with timer.stage("resume-merge"):
+                        state = state.merge(shard_state)
+            else:
+                with timer.stage("resume-absorb"):
+                    if self.ingest == "fused":
+                        from repro.io.fastpath import absorb_jsonlines_fused
 
-                    for new_file in new_files:
-                        reports.append(
-                            absorb_jsonlines_fused(
-                                state, new_file, on_bad_record=policy
+                        for new_file in new_files:
+                            reports.append(
+                                absorb_jsonlines_fused(
+                                    state, new_file, on_bad_record=policy
+                                )
                             )
-                        )
-                else:
-                    from repro.io.jsonlines import ingest_jsonlines
+                    else:
+                        from repro.io.jsonlines import ingest_jsonlines
 
-                    for new_file in new_files:
-                        records, report = ingest_jsonlines(
-                            new_file, on_bad_record=policy
-                        )
-                        reports.append(report)
-                        for record in records:
-                            state.absorb(record)
+                        for new_file in new_files:
+                            records, report = ingest_jsonlines(
+                                new_file, on_bad_record=policy
+                            )
+                            reports.append(report)
+                            for record in records:
+                                state.absorb(record)
             with timer.stage("resume-synthesis"):
                 (
                     schema,
@@ -546,6 +573,7 @@ class JxplainPipeline(Discoverer):
                     array_partitioners,
                 ) = state.synthesize_result()
             save_state(state, checkpoint)
+            self._cleanup_shard_dirs(used_shard_dirs)
             return PipelineResult(
                 schema=schema,
                 decisions=decisions,
@@ -560,6 +588,33 @@ class JxplainPipeline(Discoverer):
             )
         if not new_files:
             raise ValueError("run_file needs an input path (or resume=True)")
+        if self.shards is not None:
+            timer = StageTimer()
+            state, reports, used_shard_dirs = self._run_sharded(
+                new_files, policy, timer, checkpoint
+            )
+            with timer.stage("shard-synthesis"):
+                (
+                    schema,
+                    decisions,
+                    object_partitioners,
+                    array_partitioners,
+                ) = state.synthesize_result()
+            if checkpoint is not None:
+                save_state(state, checkpoint)
+                self._cleanup_shard_dirs(used_shard_dirs)
+            return PipelineResult(
+                schema=schema,
+                decisions=decisions,
+                object_partitioners=object_partitioners,
+                array_partitioners=array_partitioners,
+                timer=timer,
+                record_count=state.record_count,
+                ingest_report=(
+                    reports[0] if len(reports) == 1 else (reports or None)
+                ),
+                state=state,
+            )
         dataset = None
         ingest_report = None
         for new_file in new_files:
@@ -587,6 +642,84 @@ class JxplainPipeline(Discoverer):
         if checkpoint is not None:
             save_state(result.state, checkpoint)
         return result
+
+    # -- the sharded ingestion path --------------------------------------------
+
+    @staticmethod
+    def _shard_checkpoint_dir(checkpoint, new_file):
+        """Per-file shard checkpoint directory under the main
+        checkpoint, or ``None`` when no checkpoint was requested.
+
+        Keyed by a digest of the file path (the shard manifest
+        validates the full parameter set, so the name only has to be
+        distinct per file).
+        """
+        if checkpoint is None:
+            return None
+        import hashlib
+        import os
+
+        digest = hashlib.sha256(
+            os.fspath(new_file).encode("utf-8")
+        ).hexdigest()[:16]
+        return os.path.join(f"{os.fspath(checkpoint)}.shards", digest)
+
+    def _run_sharded(self, new_files, policy, timer, checkpoint):
+        """Sharded discovery of ``new_files``: merged state + reports.
+
+        One :class:`~repro.engine.sharding.ShardCoordinator` run per
+        file (file order = merge order, so the merged state's bytes
+        equal a serial scan of the concatenated input), sharing
+        ``timer``.  With a checkpoint, each file gets a per-shard
+        checkpoint directory so a killed run resumes from completed
+        shards; the directories used are returned for cleanup once the
+        merged checkpoint is durable.
+        """
+        from repro.engine.sharding import ShardCoordinator
+
+        shards = None if self.shards == "auto" else self.shards
+        fanin = {} if self.merge_fanin is None else {
+            "merge_fanin": self.merge_fanin
+        }
+        state = None
+        reports = []
+        used_dirs = []
+        for new_file in new_files:
+            shard_dir = self._shard_checkpoint_dir(checkpoint, new_file)
+            coordinator = ShardCoordinator(
+                "jxplain",
+                self.config,
+                executor=self.executor,
+                shards=shards,
+                on_bad_record=policy,
+                ingest=self.ingest,
+                checkpoint_dir=shard_dir,
+                **fanin,
+            )
+            run = coordinator.run(new_file, timer=timer)
+            state = (
+                run.state if state is None else state.merge(run.state)
+            )
+            reports.append(run.report)
+            if shard_dir is not None:
+                used_dirs.append(shard_dir)
+        return state, reports, used_dirs
+
+    @staticmethod
+    def _cleanup_shard_dirs(shard_dirs) -> None:
+        """Drop per-shard checkpoints once the merged state is saved
+        (the shard files only matter while a run can still be
+        killed)."""
+        import os
+        import shutil
+
+        for shard_dir in shard_dirs:
+            shutil.rmtree(shard_dir, ignore_errors=True)
+        for shard_dir in shard_dirs:
+            try:
+                os.rmdir(os.path.dirname(shard_dir))
+            except OSError:
+                pass
 
     @staticmethod
     def _ensure_type(record: TUnion[JsonType, JsonValue]) -> JsonType:
@@ -642,3 +775,9 @@ def _bag_add(bag: CountedBag, tau: JsonType) -> CountedBag:
 
 def _bag_merge(left: CountedBag, right: CountedBag) -> CountedBag:
     return left.merge(right)
+
+
+# The partitioned pipeline is a first-class discoverer: registering it
+# here lets the CLI's plain path (and any registry sweep) instantiate
+# it by name and tune ``num_partitions`` (None = adaptive).
+register_discoverer(JxplainPipeline.name, JxplainPipeline)

@@ -90,6 +90,17 @@ class DiscoveryState:
             absorbed += 1
         return absorbed
 
+    def absorb_bag(self, bag) -> None:
+        """Fold a whole :class:`~repro.jsontypes.bag.CountedBag` in.
+
+        Byte-identical to absorbing the bag's records one at a time
+        (in bag order), at per-*distinct*-type cost — the sharding
+        workers' fast path.  Subclasses may override with something
+        cheaper (K-reduce folds the bag through ``merge_k`` once).
+        """
+        for tau, count in bag.items():
+            self.absorb_type(tau, count)
+
     # -- the monoid operation -------------------------------------------------
 
     def merge(self, other: "DiscoveryState") -> "DiscoveryState":

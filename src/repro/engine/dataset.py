@@ -206,6 +206,65 @@ class LocalDataset(Generic[T]):
         dataset.ingest_report = report
         return dataset
 
+    @classmethod
+    def from_jsonlines_sharded(
+        cls,
+        path,
+        shards: Optional[int] = None,
+        *,
+        executor: Optional[Executor] = None,
+        on_bad_record: str = "raise",
+        ingest: str = "classic",
+    ) -> "LocalDataset":
+        """Ingest a ``.jsonl`` file with the read itself fanned out.
+
+        The file is split into newline-aligned byte ranges
+        (:func:`repro.engine.sharding.plan_shards`; ``shards=None``
+        sizes the count adaptively) and each range is parsed by a
+        separate executor task, becoming one partition of the result.
+        Parsing — the dominant cost of classic ingestion — thus runs
+        in parallel, and the merged
+        :class:`~repro.io.jsonlines.IngestReport` (exact whole-file
+        line numbers) is attached as :attr:`ingest_report`.
+
+        The records do cross the pool boundary as pickled objects, so
+        for pure discovery prefer
+        :class:`~repro.engine.sharding.ShardCoordinator`, which ships
+        compact state bytes instead.
+        """
+        from repro.engine.sharding import ShardTask, ingest_shard, plan_shards
+        from repro.io.jsonlines import _check_ingest_mode, merge_ingest_reports
+
+        _check_ingest_mode(ingest)
+        backend = resolve_executor(executor)
+        plan = plan_shards(path, shards, backend.workers)
+        tasks = [
+            ShardTask(
+                index=index,
+                path=plan.path,
+                start=start,
+                end=end,
+                on_bad_record=on_bad_record,
+                ingest=ingest,
+            )
+            for index, (start, end) in enumerate(plan.ranges)
+        ]
+        results = [
+            result
+            for result in backend.map_list(ingest_shard, tasks)
+            if result is not None
+        ]
+        results.sort(key=lambda result: result[0])
+        dataset = cls(
+            [records for _, records, _ in results], executor=backend
+        )
+        dataset.ingest_report = merge_ingest_reports(
+            [report for _, _, report in results],
+            path=plan.path,
+            policy=on_bad_record,
+        )
+        return dataset
+
     def _derive(self, partitions: List[List[U]]) -> "LocalDataset[U]":
         return LocalDataset(
             partitions,

@@ -77,10 +77,16 @@ def perf_counters() -> Dict[str, float]:
     from repro.jsontypes.similarity import similarity_cache_stats
     from repro.jsontypes.types import intern_stats
 
+    # Added (not assigned): process-pool shard workers flush their own
+    # intern/similarity deltas into ``counters`` under these same keys
+    # on shard completion, and the driver's local cache stats must not
+    # clobber them.
     for name, value in intern_stats().items():
-        snapshot[f"intern.{name}"] = value
+        key = f"intern.{name}"
+        snapshot[key] = snapshot.get(key, 0) + value
     for name, value in similarity_cache_stats().items():
-        snapshot[f"similarity.{name}"] = value
+        key = f"similarity.{name}"
+        snapshot[key] = snapshot.get(key, 0) + value
     return snapshot
 
 

@@ -145,7 +145,7 @@ class CollectionEvidence:
         if len(kinds) > 1:
             self.mixed_kinds = True
         for child in children:
-            self.similarity.add(child)
+            self.similarity.add(child, count)
 
     def merge(self, other: "CollectionEvidence") -> "CollectionEvidence":
         """Combine evidence from two partitions (associative)."""

@@ -4,7 +4,9 @@ bytes-to-type fast path, and sampling."""
 from repro.io.fastpath import (
     absorb_jsonlines_fused,
     ingest_jsonlines_fused,
+    open_line_source,
     read_jsonlines_fused,
+    split_byte_ranges,
 )
 from repro.io.jsonlines import (
     BAD_PAYLOAD_LIMIT,
@@ -14,6 +16,7 @@ from repro.io.jsonlines import (
     IngestReport,
     ingest_jsonlines,
     load_jsonlines,
+    merge_ingest_reports,
     read_jsonlines,
     write_jsonlines,
 )
@@ -42,9 +45,12 @@ __all__ = [
     "ingest_jsonlines",
     "ingest_jsonlines_fused",
     "load_jsonlines",
+    "merge_ingest_reports",
+    "open_line_source",
     "paper_protocol",
     "read_jsonlines",
     "read_jsonlines_fused",
+    "split_byte_ranges",
     "train_test_split",
     "trial_samples",
     "uniform_sample",

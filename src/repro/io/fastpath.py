@@ -59,6 +59,7 @@ from repro.io.jsonlines import (
     _check_policy,
     _note_bad_record,
     _open_binary,
+    _seek_range_start,
 )
 from repro.jsontypes.tokenizer import (
     NUMBER_RE,
@@ -70,12 +71,14 @@ from repro.jsontypes.tokenizer import (
 from repro.jsontypes.types import JsonType, MAX_DEPTH
 
 
-def _open_lines(path: PathLike):
+def open_line_source(path: PathLike):
     """Binary line source for ``path``: an mmap when possible.
 
     Plain files are memory-mapped (read-only) so line iteration walks
     the page cache without a userspace buffer copy; gzip and empty
-    files fall back to the buffered binary stream.
+    files fall back to the buffered binary stream.  Returns
+    ``(handle, mapped)`` where ``mapped`` is ``None`` on fallback;
+    the caller owns both and must close them.
     """
     handle = _open_binary(path)
     if isinstance(handle, gzip.GzipFile):
@@ -92,21 +95,63 @@ def _open_lines(path: PathLike):
     return handle, mapped
 
 
+def split_byte_ranges(path: PathLike, shards: int):
+    """Newline-aligned byte ranges covering ``path``, or ``None``.
+
+    Divides the file into at most ``shards`` contiguous ranges whose
+    boundaries sit just after a newline, so every range starts at a
+    line start and the ranges partition the file exactly — computed
+    from the mmap'd line source in O(shards) ``find`` calls without
+    reading any records.  Returns ``None`` when the file cannot be
+    range-split (gzip, empty, unmappable); callers then fall back to a
+    single whole-file shard.  Short files yield fewer ranges than
+    requested rather than empty ones.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    handle, mapped = open_line_source(path)
+    try:
+        if mapped is None:
+            return None
+        size = len(mapped)
+        if size == 0:
+            return None
+        boundaries = [0]
+        for index in range(1, shards):
+            candidate = index * size // shards
+            if candidate <= boundaries[-1]:
+                continue
+            newline = mapped.find(b"\n", candidate)
+            boundary = size if newline == -1 else newline + 1
+            if boundary > boundaries[-1] and boundary < size:
+                boundaries.append(boundary)
+        boundaries.append(size)
+        return list(zip(boundaries, boundaries[1:]))
+    finally:
+        if mapped is not None:
+            mapped.close()
+        handle.close()
+
+
 def read_jsonlines_fused(
     path: PathLike,
     *,
     on_bad_record: str = "raise",
     report: Optional[IngestReport] = None,
     shape_cache: Optional[ShapeCache] = None,
+    start: int = 0,
+    end: Optional[int] = None,
 ) -> Iterator[JsonType]:
     """Stream the interned record *types* of a ``.jsonl`` file.
 
     Same signature, policies, report accounting, and error behaviour
-    as :func:`~repro.io.jsonlines.read_jsonlines`, but each yielded
-    item is the record's :class:`~repro.jsontypes.types.JsonType`
-    rather than its parsed value.  Pass a :class:`ShapeCache` to share
-    shape state across files (e.g. an append sequence); by default
-    each call gets a fresh bounded cache.
+    as :func:`~repro.io.jsonlines.read_jsonlines` (including its
+    ``start``/``end`` ranged reads with range-relative line numbers
+    and absolute byte offsets), but each yielded item is the record's
+    :class:`~repro.jsontypes.types.JsonType` rather than its parsed
+    value.  Pass a :class:`ShapeCache` to share shape state across
+    files (e.g. an append sequence); by default each call gets a fresh
+    bounded cache.
     """
     _check_policy(on_bad_record)
     if report is None:
@@ -120,14 +165,21 @@ def read_jsonlines_fused(
     hits = 0
     misses = 0
     records = 0
-    byte_offset = 0
-    handle, mapped = _open_lines(path)
+    byte_offset = start
+    handle, mapped = open_line_source(path)
+    if start:
+        if mapped is not None:
+            mapped.seek(start)
+        else:
+            _seek_range_start(handle, path, start)
     lines = iter(mapped.readline, b"") if mapped is not None else handle
     try:
         for line_number, line in enumerate(lines, start=1):
+            if end is not None and byte_offset >= end:
+                break
             byte_offset += len(line)
             report.total_lines = line_number
-            if line_number == 1 and line.startswith(_BOM_BYTES):
+            if line_number == 1 and start == 0 and line.startswith(_BOM_BYTES):
                 line = line[len(_BOM_BYTES):]
             stripped = line.strip()
             if not stripped:
@@ -199,7 +251,7 @@ def read_jsonlines_fused(
     finally:
         cache.hits += hits
         cache.misses += misses
-        _flush_counters(records, hits, misses, byte_offset)
+        _flush_counters(records, hits, misses, byte_offset - start)
         if mapped is not None:
             mapped.close()
         handle.close()

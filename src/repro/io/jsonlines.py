@@ -120,6 +120,48 @@ class IngestReport:
         )
 
 
+def merge_ingest_reports(
+    reports: Iterable[IngestReport],
+    *,
+    path: Optional[str] = None,
+    policy: Optional[str] = None,
+) -> IngestReport:
+    """Combine shard-relative reports into one whole-file report.
+
+    ``reports`` must come in shard order (ascending byte ranges).
+    Each ranged read numbers lines relative to its own range, so bad
+    records are re-based by the total line count of every preceding
+    report; byte offsets are already absolute and pass through
+    untouched.  With newline-aligned ranges covering the file exactly,
+    the merged report equals the one a single whole-file read under
+    the same policy would have produced.
+    """
+    reports = list(reports)
+    merged = IngestReport(
+        path=path
+        if path is not None
+        else (reports[0].path if reports else ""),
+        policy=policy
+        if policy is not None
+        else (reports[0].policy if reports else "raise"),
+    )
+    lines_before = 0
+    for report in reports:
+        for bad in report.bad_records:
+            merged.bad_records.append(
+                BadRecord(
+                    line_number=lines_before + bad.line_number,
+                    byte_offset=bad.byte_offset,
+                    error=bad.error,
+                    payload=bad.payload,
+                )
+            )
+        merged.record_count += report.record_count
+        lines_before += report.total_lines
+    merged.total_lines = lines_before
+    return merged
+
+
 def _open_text(path: PathLike, mode: str, newline: Optional[str] = None) -> IO[str]:
     path = FsPath(path)
     if path.suffix == ".gz":
@@ -154,11 +196,28 @@ def _check_ingest_mode(ingest: str) -> None:
         raise DatasetError(f"unknown ingest mode {ingest!r}; known: {known}")
 
 
+def _seek_range_start(handle: IO[bytes], path: PathLike, start: int) -> None:
+    """Position a byte stream at a shard range's first line.
+
+    Ranged reads require random access to the *stored* bytes, so they
+    are defined only for uncompressed files; a gzip member would have
+    to be inflated from byte 0 anyway, which is why the sharding layer
+    gives compressed inputs a single whole-file range instead.
+    """
+    if isinstance(handle, gzip.GzipFile):
+        raise DatasetError(
+            f"{path}: ranged reads require an uncompressed file"
+        )
+    handle.seek(start)
+
+
 def read_jsonlines(
     path: PathLike,
     *,
     on_bad_record: str = "raise",
     report: Optional[IngestReport] = None,
+    start: int = 0,
+    end: Optional[int] = None,
 ) -> Iterator[JsonValue]:
     """Stream records from a ``.jsonl`` (optionally ``.gz``) file.
 
@@ -166,6 +225,13 @@ def read_jsonlines(
     docstring); pass an :class:`IngestReport` as ``report`` to observe
     per-line accounting.  The report is filled incrementally as the
     stream is consumed.
+
+    ``start``/``end`` bound the read to a newline-aligned byte range
+    (uncompressed files only; see
+    :func:`repro.io.fastpath.split_byte_ranges`).  Within a range,
+    line numbers are **range-relative** (the first line is 1) while
+    byte offsets stay absolute; :func:`merge_ingest_reports` rebuilds
+    whole-file line numbers from per-range reports.
     """
     _check_policy(on_bad_record)
     if report is None:
@@ -173,17 +239,21 @@ def read_jsonlines(
     else:
         report.policy = on_bad_record
     keep_payload = on_bad_record == "collect"
-    byte_offset = 0
+    byte_offset = start
     # Raw bytes in, one decode per line: offsets are sums of raw line
     # lengths (exact for multi-byte UTF-8 with no re-encoding), and a
     # line that is not valid UTF-8 is a policy-governed bad record
     # (UnicodeDecodeError is a ValueError) instead of a stream killer.
     with _open_binary(path) as handle:
+        if start:
+            _seek_range_start(handle, path, start)
         for line_number, line in enumerate(handle, start=1):
             line_offset = byte_offset
+            if end is not None and line_offset >= end:
+                break
             byte_offset += len(line)
             report.total_lines = line_number
-            if line_number == 1 and line.startswith(_BOM_BYTES):
+            if line_number == 1 and start == 0 and line.startswith(_BOM_BYTES):
                 line = line[len(_BOM_BYTES):]
             stripped = line.strip()
             if not stripped:

@@ -211,9 +211,16 @@ class SimilarityAccumulator:
         self.count: int = 0
         self.max_depth = max_depth
 
-    def add(self, tau: JsonType) -> None:
-        """Fold one type into the accumulator."""
-        self.count += 1
+    def add(self, tau: JsonType, count: int = 1) -> None:
+        """Fold ``count`` identical instances of one type in.
+
+        Exactly equivalent to ``count`` sequential calls: after the
+        first fold of ``tau`` the running maximal already subsumes it,
+        so repeats only move :attr:`count` — which is why the weighted
+        form preserves byte-identical serialization with the
+        per-record form.
+        """
+        self.count += count
         if not self.all_similar:
             return
         if self.maximal is None:

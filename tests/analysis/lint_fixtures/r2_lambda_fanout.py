@@ -17,5 +17,13 @@ def bad(executor, items):
     return first, second, third
 
 
+def bad_shards(coordinator, tasks):
+    return coordinator.map_shards(lambda task: task, tasks)
+
+
 def fine(executor, items):
     return executor.map_list(partial(_double), items)
+
+
+def fine_shards(coordinator, tasks):
+    return coordinator.map_shards(_double, tasks)

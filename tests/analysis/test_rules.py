@@ -47,10 +47,11 @@ class TestR2Picklability:
         findings, _ = analyze_fixture(
             "r2_lambda_fanout.py", "src/repro/discovery/jxplain.py"
         )
-        assert rule_ids(findings) == ["R2", "R2", "R2"]
+        assert rule_ids(findings) == ["R2", "R2", "R2", "R2"]
         messages = [f.message for f in findings]
-        assert sum("a lambda" in m for m in messages) == 2
+        assert sum("a lambda" in m for m in messages) == 3
         assert sum("locally-defined function 'local'" in m for m in messages) == 1
+        assert any("map_shards" in m for m in messages)
 
     def test_partial_over_module_function_is_fine(self):
         source = (

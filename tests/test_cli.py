@@ -121,3 +121,99 @@ class TestOtherCommands:
         assert "github" in capsys.readouterr().out
         assert main(["algorithms"]) == 0
         assert "bimax-merge" in capsys.readouterr().out
+
+
+class TestDiscoverSharded:
+    @pytest.fixture
+    def corpus(self, tmp_path, figure1_records):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonlines(path, figure1_records * 60)
+        return path
+
+    def test_sharded_matches_serial_state_and_schema(
+        self, corpus, tmp_path
+    ):
+        serial_state = tmp_path / "serial.state"
+        serial_out = tmp_path / "serial.out"
+        sharded_state = tmp_path / "sharded.state"
+        sharded_out = tmp_path / "sharded.out"
+        assert main(
+            [
+                "discover", str(corpus), "--algorithm", "jxplain",
+                "--ingest", "fused",
+                "--checkpoint", str(serial_state),
+                "--output", str(serial_out),
+            ]
+        ) == 0
+        assert main(
+            [
+                "discover", str(corpus), "--algorithm", "jxplain",
+                "--shards", "2",
+                "--checkpoint", str(sharded_state),
+                "--output", str(sharded_out),
+            ]
+        ) == 0
+        assert sharded_state.read_bytes() == serial_state.read_bytes()
+        assert sharded_out.read_text() == serial_out.read_text()
+        # Per-shard scratch is cleaned up after the merged checkpoint.
+        assert not (tmp_path / "sharded.state.shards").exists()
+
+    def test_sharded_resume_append(self, corpus, tmp_path, figure1_records):
+        extra = tmp_path / "extra.jsonl"
+        write_jsonlines(extra, figure1_records * 15)
+        ckpt = tmp_path / "inc.state"
+        assert main(
+            [
+                "discover", str(corpus), "--shards", "auto",
+                "--checkpoint", str(ckpt),
+                "--output", str(tmp_path / "first.out"),
+            ]
+        ) == 0
+        assert main(
+            [
+                "discover", "--resume", "--shards", "auto",
+                "--append", str(extra),
+                "--checkpoint", str(ckpt),
+                "--output", str(tmp_path / "second.out"),
+            ]
+        ) == 0
+        # Equivalent one-shot run over both files, unsharded.
+        ref = tmp_path / "ref.state"
+        assert main(
+            [
+                "discover", str(corpus), "--append", str(extra),
+                "--ingest", "fused", "--algorithm", "bimax-merge",
+                "--checkpoint", str(ref),
+                "--output", str(tmp_path / "ref.out"),
+            ]
+        ) == 0
+        assert ckpt.read_bytes() == ref.read_bytes()
+
+    def test_workers_without_shards_errors(self, corpus, capsys):
+        assert main(["discover", str(corpus), "--workers", "2"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_bad_shard_count_errors(self, corpus, capsys):
+        with pytest.raises(SystemExit):
+            main(["discover", str(corpus), "--shards", "zero"])
+        assert "--shards" in capsys.readouterr().err
+
+    def test_num_partitions_requires_pipeline(self, corpus, capsys):
+        assert main(
+            [
+                "discover", str(corpus),
+                "--algorithm", "l-reduce",
+                "--num-partitions", "3",
+            ]
+        ) == 2
+        assert "--num-partitions" in capsys.readouterr().err
+
+    def test_num_partitions_on_pipeline(self, corpus, capsys):
+        assert main(
+            [
+                "discover", str(corpus),
+                "--algorithm", "jxplain-pipeline",
+                "--num-partitions", "auto",
+            ]
+        ) == 0
+        assert "ts" in capsys.readouterr().out
