@@ -624,6 +624,11 @@ class CounterDisciplineRule(Rule):
 # R6 — registry-completeness
 # ---------------------------------------------------------------------------
 
+#: Modules whose top-level functions are held to the encoder/decoder
+#: pairing law: the state codec plus the PR-8 enrichment modules,
+#: which serialize sketches and tagged-union decisions themselves.
+_CODEC_MODULES = ("codec", "sketches", "tagged_unions")
+
 #: Encoder/decoder name-prefix pairs checked in codec modules.
 _CODEC_PAIRS = (
     ("dumps_", "loads_"),
@@ -646,7 +651,7 @@ class RegistryCompletenessRule(Rule):
     def check(self, ctx: RuleContext):
         findings: List[Finding] = []
         basename = ctx.module_parts[-1]
-        if basename == "codec":
+        if basename in _CODEC_MODULES:
             self._check_codec_pairs(ctx, findings)
         if basename == "__init__":
             self._check_all_drift(ctx, findings)

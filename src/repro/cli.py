@@ -103,6 +103,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "interned record types in one pass over the bytes (fused)",
     )
     discover.add_argument(
+        "--enrich", default=None, metavar="FEATURES",
+        help="collect value-domain evidence alongside discovery: a "
+        "comma list from {sketches, unions}.  'sketches' annotates "
+        "JSON Schema output with min/max bounds, string formats, "
+        "distinct-value estimates, and Bloom membership filters; "
+        "'unions' detects tagged unions from low-entropy "
+        "discriminant keys.  The structural schema is unchanged.",
+    )
+    discover.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="save the discovery state here after the run "
         "(resume later with --resume)",
@@ -313,9 +322,26 @@ def _discover_overrides(args: argparse.Namespace) -> dict:
     return overrides
 
 
-def _emit_schema(schema, args: argparse.Namespace) -> None:
+def _emit_schema(schema, args: argparse.Namespace, state=None) -> None:
     if args.format == "json":
-        text = json.dumps(to_json_schema(schema), indent=2, sort_keys=True)
+        document = to_json_schema(schema)
+        enrichment = getattr(state, "enrichment", None)
+        if enrichment is not None:
+            from repro.schema import annotate_json_schema
+
+            document = annotate_json_schema(document, enrichment)
+            if enrichment.options.unions:
+                decision = _extract_tagged_union(state)
+                if decision is not None:
+                    from repro.discovery.tagged_unions import (
+                        tagged_union_json_schema,
+                    )
+
+                    document["x-repro-tagged-union"] = {
+                        "key": decision.key,
+                        "schema": tagged_union_json_schema(decision),
+                    }
+        text = json.dumps(document, indent=2, sort_keys=True)
     else:
         text = render(schema)
     if args.output:
@@ -323,6 +349,23 @@ def _emit_schema(schema, args: argparse.Namespace) -> None:
             handle.write(text + "\n")
     else:
         print(text)
+
+
+def _extract_tagged_union(state):
+    """The state's best tagged-union decision, or ``None``.
+
+    K-reduce states retain no type bag (branch schemas cannot be
+    rebuilt), so extraction degrades to a warning instead of failing
+    the run.
+    """
+    from repro.discovery.tagged_unions import extract_tagged_unions
+
+    try:
+        decisions = extract_tagged_unions(state)
+    except ValueError as exc:
+        print(f"warning: {exc}", file=sys.stderr)
+        return None
+    return decisions[0] if decisions else None
 
 
 def _parse_count_or_auto(value: str, option: str):
@@ -354,16 +397,25 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume and args.enrich is not None:
+        print(
+            "error: --enrich cannot change a resumed state; enrichment "
+            "was fixed when the checkpoint was created",
+            file=sys.stderr,
+        )
+        return 2
     if args.shards is not None:
         return _cmd_discover_sharded(args, overrides)
     # Fused ingestion yields record *types*, and the state core is the
     # layer that canonically consumes types for every algorithm — so
     # fused discovery always routes through it, exactly like
-    # checkpointed/resumed runs do.
+    # checkpointed/resumed and enriched runs do (enrichment lives on
+    # the state).
     if (
         args.checkpoint
         or args.resume
         or args.append
+        or args.enrich is not None
         or args.ingest == "fused"
     ):
         return _cmd_discover_incremental(args, overrides)
@@ -451,8 +503,17 @@ def _cmd_discover_sharded(args: argparse.Namespace, overrides: dict) -> int:
             return 2
         algorithm = state.algorithm
         config = getattr(state, "config", None)
-    elif overrides:
-        config = JxplainConfig().with_(**overrides)
+        # The checkpoint's enrichment (or its absence) governs: shard
+        # partials must merge into it.
+        enrich = (
+            state.enrichment.options
+            if state.enrichment is not None
+            else None
+        )
+    else:
+        if overrides:
+            config = JxplainConfig().with_(**overrides)
+        enrich = args.enrich
     sources = [args.input] if args.input else []
     sources.extend(args.append)
     fanin = (
@@ -477,6 +538,7 @@ def _cmd_discover_sharded(args: argparse.Namespace, overrides: dict) -> int:
                 on_bad_record=args.on_bad_record,
                 ingest=args.ingest,
                 checkpoint_dir=shard_dir,
+                enrich=enrich,
                 **fanin,
             )
             run = coordinator.run(source)
@@ -508,7 +570,7 @@ def _cmd_discover_sharded(args: argparse.Namespace, overrides: dict) -> int:
                 os.rmdir(os.path.dirname(shard_dir))
             except OSError:
                 pass
-    _emit_schema(schema, args)
+    _emit_schema(schema, args, state=state)
     return 0
 
 
@@ -545,7 +607,9 @@ def _cmd_discover_incremental(
             config = None
             if overrides:
                 config = JxplainConfig().with_(**overrides)
-            state = state_for_algorithm(args.algorithm, config)
+            state = state_for_algorithm(
+                args.algorithm, config, enrich=args.enrich
+            )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -553,8 +617,22 @@ def _cmd_discover_incremental(
     sources.extend(args.append)
     for source in sources:
         if args.ingest == "fused":
-            for tau in _read_input(source, args.on_bad_record, "fused"):
-                state.absorb_type(tau)
+            if state.enrichment is not None:
+                # Sketches need the parsed values, so an enriched
+                # fused run streams (type, value) pairs instead of
+                # cache-accelerated bare types.
+                from repro.io.fastpath import absorb_jsonlines_typed
+
+                report = absorb_jsonlines_typed(
+                    state, source, on_bad_record=args.on_bad_record
+                )
+                if not report.ok:
+                    print(
+                        f"warning: {report.summary()}", file=sys.stderr
+                    )
+            else:
+                for tau in _read_input(source, args.on_bad_record, "fused"):
+                    state.absorb_type(tau)
         else:
             state.absorb_many(_read_input(source, args.on_bad_record))
     if state.record_count == 0:
@@ -567,7 +645,7 @@ def _cmd_discover_incremental(
         return 2
     if args.checkpoint:
         save_state(state, args.checkpoint)
-    _emit_schema(schema, args)
+    _emit_schema(schema, args, state=state)
     return 0
 
 

@@ -12,7 +12,12 @@
   :class:`DiscoveryState` monoid every algorithm synthesizes from,
   with checkpoint save/load;
 * :mod:`repro.discovery.codec` — the versioned binary wire format of
-  states and their constituents.
+  states and their constituents;
+* :mod:`repro.discovery.sketches` — value-domain enrichment monoids
+  (min/max, Bloom, HyperLogLog, string formats) carried alongside any
+  state as an :class:`EnrichmentState` sidecar;
+* :mod:`repro.discovery.tagged_unions` — discriminant-key detection
+  synthesizing ``if/then``/``oneOf`` tagged unions.
 """
 
 from repro.discovery.base import (
@@ -58,6 +63,11 @@ from repro.discovery.pipeline import (
     TupleShapes,
     build_partitioners,
 )
+from repro.discovery.sketches import (
+    EnrichmentOptions,
+    EnrichmentState,
+    parse_enrich_spec,
+)
 from repro.discovery.state import (
     DiscoveryState,
     JxplainState,
@@ -68,6 +78,12 @@ from repro.discovery.state import (
     state_for_algorithm,
 )
 from repro.discovery.streaming import StreamingJxplain, StreamingKReduce
+from repro.discovery.tagged_unions import (
+    TaggedUnionConfig,
+    TaggedUnionDecision,
+    extract_tagged_unions,
+    tagged_union_json_schema,
+)
 from repro.discovery.stat_tree import (
     CollectionDecisions,
     PathEntropy,
@@ -85,6 +101,8 @@ __all__ = [
     "DecidedFolder",
     "Discoverer",
     "DiscoveryState",
+    "EnrichmentOptions",
+    "EnrichmentState",
     "EntityStrategy",
     "FeatureMode",
     "FoldNode",
@@ -106,6 +124,8 @@ __all__ = [
     "StatTree",
     "StreamingJxplain",
     "StreamingKReduce",
+    "TaggedUnionConfig",
+    "TaggedUnionDecision",
     "TupleShapes",
     "build_partitioners",
     "cluster_key_sets",
@@ -113,9 +133,12 @@ __all__ = [
     "decide_collections",
     "discoverer_names",
     "entropy_profile",
+    "extract_tagged_unions",
     "find_coreferences",
     "unify_coreferences",
     "jxplain_merge",
+    "parse_enrich_spec",
+    "tagged_union_json_schema",
     "load_state",
     "make_discoverer",
     "merge_array_coll",

@@ -46,6 +46,19 @@ from repro.discovery.fold import (
     ObjectCollAcc,
     ObjectEntityAcc,
 )
+from repro.discovery.sketches import (
+    BloomMembershipSketch,
+    EnrichmentOptions,
+    EnrichmentState,
+    HLLCardinalitySketch,
+    KeyEvidence,
+    MinMaxSketch,
+    PathSketches,
+    SKETCH_CLASSES,
+    StringFormatSketch,
+    scalar_from_key,
+    scalar_key,
+)
 from repro.discovery.stat_tree import CollectionDecisions, StatTree
 from repro.entities.bimax import EntityCluster
 from repro.entities.keyset import KeySetUniverse
@@ -79,7 +92,9 @@ from repro.schema.nodes import (
 MAGIC = b"RDSC"
 
 #: Bumped whenever the wire format changes incompatibly.
-CODEC_VERSION = 1
+#: Version 2: state bodies carry a trailing enrichment section
+#: (value-domain sketches + discriminant evidence; PR 8).
+CODEC_VERSION = 2
 
 #: Fixed kind numbering shared by every codec below.
 _KIND_ORDER: Tuple[Kind, ...] = (
@@ -900,6 +915,285 @@ def read_config(dec: Decoder) -> JxplainConfig:
     )
 
 
+# -- enrichment sketches (PR 8) -----------------------------------------------
+#
+# Sketch tags follow SKETCH_CLASSES order: 0 minmax, 1 bloom, 2 hll,
+# 3 format.  All containers here hold plain data (no JsonType refs),
+# so sorting before encoding is fully canonical.
+
+_SKETCH_TAG = {cls.name: tag for tag, cls in enumerate(SKETCH_CLASSES)}
+
+
+def _write_number(enc: Encoder, value) -> None:
+    """A min/max bound: float64 when float, svarint when int.
+
+    The float flag round-trips exactly, preserving the sketch's
+    canonical int-vs-float distinction (``1`` vs ``1.0``).
+    """
+    is_float = isinstance(value, float)
+    enc.w.boolean(is_float)
+    if is_float:
+        enc.w.float64(value)
+    else:
+        enc.w.svarint(value)
+
+
+def _read_number(dec: Decoder):
+    return dec.r.float64() if dec.r.boolean() else dec.r.svarint()
+
+
+def write_sketch(enc: Encoder, sketch) -> None:
+    tag = _SKETCH_TAG.get(sketch.name)
+    if tag is None:
+        raise StateCodecError(f"unknown sketch {sketch!r}")
+    enc.w.uvarint(tag)
+    if isinstance(sketch, MinMaxSketch):
+        enc.w.uvarint(sketch.count)
+        if sketch.count:
+            _write_number(enc, sketch.minimum)
+            _write_number(enc, sketch.maximum)
+    elif isinstance(sketch, BloomMembershipSketch):
+        enc.w.uvarint(sketch.size)
+        enc.w.uvarint(sketch.hashes)
+        enc.w.uvarint(sketch.count)
+        enc.w.raw(sketch.bits.to_bytes(sketch.size // 8, "little"))
+    elif isinstance(sketch, HLLCardinalitySketch):
+        enc.w.uvarint(sketch.precision)
+        enc.w.uvarint(sketch.count)
+        enc.w.raw(bytes(sketch.registers))
+    elif isinstance(sketch, StringFormatSketch):
+        enc.w.uvarint(sketch.total)
+        counts = sorted(
+            item for item in sketch.counts.items() if item[1]
+        )
+        enc.w.uvarint(len(counts))
+        for format_name, count in counts:
+            enc.w.string(format_name)
+            enc.w.uvarint(count)
+    else:
+        raise StateCodecError(f"unknown sketch {sketch!r}")
+
+
+def read_sketch(dec: Decoder):
+    tag = dec.r.uvarint()
+    if tag >= len(SKETCH_CLASSES):
+        raise StateCodecError(f"unknown sketch tag {tag}")
+    cls = SKETCH_CLASSES[tag]
+    if cls is MinMaxSketch:
+        sketch = MinMaxSketch()
+        sketch.count = dec.r.uvarint()
+        if sketch.count:
+            sketch.minimum = _read_number(dec)
+            sketch.maximum = _read_number(dec)
+        return sketch
+    if cls is BloomMembershipSketch:
+        size = dec.r.uvarint()
+        hashes = dec.r.uvarint()
+        sketch = BloomMembershipSketch(size, hashes)
+        sketch.count = dec.r.uvarint()
+        sketch.bits = int.from_bytes(dec.r._take(size // 8), "little")
+        return sketch
+    if cls is HLLCardinalitySketch:
+        sketch = HLLCardinalitySketch(dec.r.uvarint())
+        sketch.count = dec.r.uvarint()
+        sketch.registers = bytearray(
+            dec.r._take(1 << sketch.precision)
+        )
+        return sketch
+    sketch = StringFormatSketch()
+    sketch.total = dec.r.uvarint()
+    for _ in range(dec.r.uvarint()):
+        format_name = dec.r.string()
+        sketch.counts[format_name] = dec.r.uvarint()
+    return sketch
+
+
+def _write_path_sketches(enc: Encoder, bundle: PathSketches) -> None:
+    for sketch in bundle.sketches():
+        write_sketch(enc, sketch)
+
+
+def _read_path_sketches(dec: Decoder) -> PathSketches:
+    numbers = read_sketch(dec)
+    strings = read_sketch(dec)
+    members = read_sketch(dec)
+    cardinality = read_sketch(dec)
+    if not (
+        isinstance(numbers, MinMaxSketch)
+        and isinstance(strings, StringFormatSketch)
+        and isinstance(members, BloomMembershipSketch)
+        and isinstance(cardinality, HLLCardinalitySketch)
+    ):
+        raise StateCodecError("malformed path-sketches bundle")
+    return PathSketches.from_sketches(numbers, strings, members, cardinality)
+
+
+# Discriminant scalar tags: 0 null, 1 false, 2 true, 3 int, 4 str.
+
+
+def _write_scalar(enc: Encoder, value) -> None:
+    if value is None:
+        enc.w.uvarint(0)
+    elif value is False:
+        enc.w.uvarint(1)
+    elif value is True:
+        enc.w.uvarint(2)
+    elif isinstance(value, int):
+        enc.w.uvarint(3)
+        enc.w.svarint(value)
+    elif isinstance(value, str):
+        enc.w.uvarint(4)
+        enc.w.string(value)
+    else:
+        raise StateCodecError(f"not a discriminant scalar: {value!r}")
+
+
+def _read_scalar(dec: Decoder):
+    tag = dec.r.uvarint()
+    if tag == 0:
+        return None
+    if tag == 1:
+        return False
+    if tag == 2:
+        return True
+    if tag == 3:
+        return dec.r.svarint()
+    if tag == 4:
+        return dec.r.string()
+    raise StateCodecError(f"unknown scalar tag {tag}")
+
+
+def _write_key_evidence(enc: Encoder, evidence: KeyEvidence) -> None:
+    enc.w.uvarint(evidence.present)
+    enc.w.boolean(evidence.saturated)
+    enc.w.uvarint(len(evidence.values))
+    for tagged in sorted(evidence.values):
+        _write_scalar(enc, scalar_from_key(tagged))
+        shapes = evidence.values[tagged]
+        enc.w.uvarint(len(shapes))
+        for shape in sorted(shapes):
+            enc.w.uvarint(len(shape))
+            for key in shape:
+                enc.w.string(key)
+            enc.w.uvarint(shapes[shape])
+
+
+def _read_key_evidence(dec: Decoder) -> KeyEvidence:
+    evidence = KeyEvidence()
+    evidence.present = dec.r.uvarint()
+    evidence.saturated = dec.r.boolean()
+    for _ in range(dec.r.uvarint()):
+        tagged = scalar_key(_read_scalar(dec))
+        shapes = evidence.values[tagged] = {}
+        for _ in range(dec.r.uvarint()):
+            shape = tuple(
+                dec.r.string() for _ in range(dec.r.uvarint())
+            )
+            shapes[shape] = dec.r.uvarint()
+    return evidence
+
+
+def _write_options(enc: Encoder, options: EnrichmentOptions) -> None:
+    enc.w.boolean(options.sketches)
+    enc.w.boolean(options.unions)
+    enc.w.uvarint(options.bloom_bits)
+    enc.w.uvarint(options.bloom_hashes)
+    enc.w.uvarint(options.hll_precision)
+    enc.w.uvarint(options.union_value_cap)
+    enc.w.uvarint(options.union_string_cap)
+
+
+def _read_options(dec: Decoder) -> EnrichmentOptions:
+    return EnrichmentOptions(
+        sketches=dec.r.boolean(),
+        unions=dec.r.boolean(),
+        bloom_bits=dec.r.uvarint(),
+        bloom_hashes=dec.r.uvarint(),
+        hll_precision=dec.r.uvarint(),
+        union_value_cap=dec.r.uvarint(),
+        union_string_cap=dec.r.uvarint(),
+    )
+
+
+def write_enrichment(enc: Encoder, state: EnrichmentState) -> None:
+    _write_options(enc, state.options)
+    enc.w.uvarint(state.record_count)
+
+    def write_path_entry(e: Encoder, entry) -> None:
+        path, bundle = entry
+        write_path(e, path)
+        _write_path_sketches(e, bundle)
+
+    enc.sorted_blobs(state.paths.items(), write_path_entry)
+    enc.w.uvarint(state.discriminants.records)
+    enc.w.uvarint(len(state.discriminants.keys))
+    for name in sorted(state.discriminants.keys):
+        enc.w.string(name)
+        _write_key_evidence(enc, state.discriminants.keys[name])
+
+
+def read_enrichment(dec: Decoder) -> EnrichmentState:
+    state = EnrichmentState(_read_options(dec))
+    state.record_count = dec.r.uvarint()
+    for _ in range(dec.r.uvarint()):
+        path = read_path(dec)
+        state.paths[path] = _read_path_sketches(dec)
+    state.discriminants.records = dec.r.uvarint()
+    for _ in range(dec.r.uvarint()):
+        name = dec.r.string()
+        state.discriminants.keys[name] = _read_key_evidence(dec)
+    return state
+
+
+def write_tagged_unions(enc: Encoder, decisions) -> None:
+    enc.w.uvarint(len(decisions))
+    for decision in decisions:
+        write_path(enc, decision.path)
+        enc.w.string(decision.key)
+        enc.w.float64(decision.entropy)
+        enc.w.float64(decision.coverage)
+        enc.w.float64(decision.predictiveness)
+        enc.w.uvarint(len(decision.branches))
+        for branch in decision.branches:
+            _write_scalar(enc, branch.value)
+            enc.w.uvarint(branch.count)
+            write_schema(enc, branch.schema)
+
+
+def read_tagged_unions(dec: Decoder):
+    from repro.discovery.tagged_unions import (
+        TaggedUnionBranch,
+        TaggedUnionDecision,
+    )
+
+    decisions = []
+    for _ in range(dec.r.uvarint()):
+        path = read_path(dec)
+        key = dec.r.string()
+        entropy = dec.r.float64()
+        coverage = dec.r.float64()
+        predictiveness = dec.r.float64()
+        branches = [
+            TaggedUnionBranch(
+                value=_read_scalar(dec),
+                count=dec.r.uvarint(),
+                schema=read_schema(dec),
+            )
+            for _ in range(dec.r.uvarint())
+        ]
+        decisions.append(
+            TaggedUnionDecision(
+                path=path,
+                key=key,
+                entropy=entropy,
+                coverage=coverage,
+                predictiveness=predictiveness,
+                branches=branches,
+            )
+        )
+    return decisions
+
+
 # -- standalone payloads ------------------------------------------------------
 #
 # Module-level function pairs, so executor tasks can carry them by
@@ -976,3 +1270,27 @@ def dumps_config(config: JxplainConfig) -> bytes:
 
 def loads_config(data: bytes) -> JxplainConfig:
     return _loads("config", read_config, data)
+
+
+def dumps_sketch(sketch) -> bytes:
+    return _dumps("sketch", write_sketch, sketch)
+
+
+def loads_sketch(data: bytes):
+    return _loads("sketch", read_sketch, data)
+
+
+def dumps_enrichment(state: EnrichmentState) -> bytes:
+    return _dumps("enrichment", write_enrichment, state)
+
+
+def loads_enrichment(data: bytes) -> EnrichmentState:
+    return _loads("enrichment", read_enrichment, data)
+
+
+def dumps_tagged_unions(decisions) -> bytes:
+    return _dumps("tagged-unions", write_tagged_unions, decisions)
+
+
+def loads_tagged_unions(data: bytes):
+    return _loads("tagged-unions", read_tagged_unions, data)

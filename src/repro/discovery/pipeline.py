@@ -318,6 +318,7 @@ class JxplainPipeline(Discoverer):
         ingest: str = "classic",
         shards=None,
         merge_fanin: Optional[int] = None,
+        enrich=None,
     ):
         """``heuristic_sample`` enables §4.2's sampling mitigation:
         passes ① and ② run on a Bernoulli sample of that fraction,
@@ -348,13 +349,23 @@ class JxplainPipeline(Discoverer):
         serialized state partials, merged with fan-in ``merge_fanin``
         — and produce byte-identical states/schemas to unsharded
         runs.
+
+        ``enrich`` (an ``--enrich`` spec string or
+        :class:`~repro.discovery.sketches.EnrichmentOptions`) makes
+        :meth:`run_file` collect the PR-8 value-domain sidecar while
+        it discovers; enriched runs always route through the state
+        core (sketches need the parsed values) and leave the
+        structural schema unchanged.  On resume, the checkpoint's own
+        enrichment (or its absence) governs, like its config.
         """
+        from repro.discovery.sketches import parse_enrich_spec
         from repro.io.jsonlines import _check_ingest_mode
 
         self.config = config or JxplainConfig()
         self.config.validate()
         _check_ingest_mode(ingest)
         self.ingest = ingest
+        self.enrich = parse_enrich_spec(enrich)
         if shards is not None and shards != "auto":
             if not isinstance(shards, int) or shards < 1:
                 raise ValueError(
@@ -532,29 +543,61 @@ class JxplainPipeline(Discoverer):
                     "the pipeline resumes jxplain states only"
                 )
             # The checkpoint's configuration governs: it is part of the
-            # meaning of the accumulated evidence.
+            # meaning of the accumulated evidence.  Likewise its
+            # enrichment (or its absence).
             self.config = state.config
+            resumed_enrich = (
+                state.enrichment.options
+                if state.enrichment is not None
+                else None
+            )
             timer = StageTimer()
             reports = []
             used_shard_dirs = []
             if self.shards is not None:
                 if new_files:
                     shard_state, reports, used_shard_dirs = (
-                        self._run_sharded(new_files, policy, timer, checkpoint)
+                        self._run_sharded(
+                            new_files,
+                            policy,
+                            timer,
+                            checkpoint,
+                            enrich=resumed_enrich,
+                        )
                     )
                     with timer.stage("resume-merge"):
                         state = state.merge(shard_state)
             else:
                 with timer.stage("resume-absorb"):
                     if self.ingest == "fused":
-                        from repro.io.fastpath import absorb_jsonlines_fused
-
-                        for new_file in new_files:
-                            reports.append(
-                                absorb_jsonlines_fused(
-                                    state, new_file, on_bad_record=policy
-                                )
+                        if resumed_enrich is not None:
+                            # Sketches need the parsed values; the
+                            # typed reader keeps the one-pass shape.
+                            from repro.io.fastpath import (
+                                absorb_jsonlines_typed,
                             )
+
+                            for new_file in new_files:
+                                reports.append(
+                                    absorb_jsonlines_typed(
+                                        state,
+                                        new_file,
+                                        on_bad_record=policy,
+                                    )
+                                )
+                        else:
+                            from repro.io.fastpath import (
+                                absorb_jsonlines_fused,
+                            )
+
+                            for new_file in new_files:
+                                reports.append(
+                                    absorb_jsonlines_fused(
+                                        state,
+                                        new_file,
+                                        on_bad_record=policy,
+                                    )
+                                )
                     else:
                         from repro.io.jsonlines import ingest_jsonlines
 
@@ -588,10 +631,17 @@ class JxplainPipeline(Discoverer):
             )
         if not new_files:
             raise ValueError("run_file needs an input path (or resume=True)")
+        if self.shards is None and self.enrich is not None:
+            # Fresh enriched unsharded run: the dataset pipeline maps
+            # records to bare types (enrichment would lose the
+            # values), so route through the state core serially.
+            return self._run_enriched_serial(
+                new_files, policy, checkpoint
+            )
         if self.shards is not None:
             timer = StageTimer()
             state, reports, used_shard_dirs = self._run_sharded(
-                new_files, policy, timer, checkpoint
+                new_files, policy, timer, checkpoint, enrich=self.enrich
             )
             with timer.stage("shard-synthesis"):
                 (
@@ -643,6 +693,67 @@ class JxplainPipeline(Discoverer):
             save_state(result.state, checkpoint)
         return result
 
+    # -- the enriched serial path ----------------------------------------------
+
+    def _run_enriched_serial(self, new_files, policy, checkpoint):
+        """Fresh enriched discovery through the state core.
+
+        One serial pass per file — typed reader under ``fused``
+        ingestion, value absorption under ``classic`` — then
+        synthesis from the accumulated state, exactly as a resumed
+        run would do it.  The structural schema is byte-identical to
+        the dataset pipeline's (the state core and the fold agree;
+        property-tested).
+        """
+        from repro.discovery.state import save_state, state_for_algorithm
+
+        timer = StageTimer()
+        state = state_for_algorithm(
+            "jxplain", self.config, enrich=self.enrich
+        )
+        reports = []
+        with timer.stage("enrich-absorb"):
+            if self.ingest == "fused":
+                from repro.io.fastpath import absorb_jsonlines_typed
+
+                for new_file in new_files:
+                    reports.append(
+                        absorb_jsonlines_typed(
+                            state, new_file, on_bad_record=policy
+                        )
+                    )
+            else:
+                from repro.io.jsonlines import ingest_jsonlines
+
+                for new_file in new_files:
+                    records, report = ingest_jsonlines(
+                        new_file, on_bad_record=policy
+                    )
+                    reports.append(report)
+                    for record in records:
+                        state.absorb(record)
+        with timer.stage("enrich-synthesis"):
+            (
+                schema,
+                decisions,
+                object_partitioners,
+                array_partitioners,
+            ) = state.synthesize_result()
+        if checkpoint is not None:
+            save_state(state, checkpoint)
+        return PipelineResult(
+            schema=schema,
+            decisions=decisions,
+            object_partitioners=object_partitioners,
+            array_partitioners=array_partitioners,
+            timer=timer,
+            record_count=state.record_count,
+            ingest_report=(
+                reports[0] if len(reports) == 1 else (reports or None)
+            ),
+            state=state,
+        )
+
     # -- the sharded ingestion path --------------------------------------------
 
     @staticmethod
@@ -664,7 +775,7 @@ class JxplainPipeline(Discoverer):
         ).hexdigest()[:16]
         return os.path.join(f"{os.fspath(checkpoint)}.shards", digest)
 
-    def _run_sharded(self, new_files, policy, timer, checkpoint):
+    def _run_sharded(self, new_files, policy, timer, checkpoint, enrich=None):
         """Sharded discovery of ``new_files``: merged state + reports.
 
         One :class:`~repro.engine.sharding.ShardCoordinator` run per
@@ -694,6 +805,7 @@ class JxplainPipeline(Discoverer):
                 on_bad_record=policy,
                 ingest=self.ingest,
                 checkpoint_dir=shard_dir,
+                enrich=enrich,
                 **fanin,
             )
             run = coordinator.run(new_file, timer=timer)

@@ -34,6 +34,7 @@ from typing import Iterable, Optional
 from repro.discovery import codec
 from repro.discovery.codec import Decoder, Encoder
 from repro.discovery.config import EntityStrategy, JxplainConfig
+from repro.discovery.sketches import EnrichmentState, parse_enrich_spec
 from repro.discovery.stat_tree import StatTree
 from repro.engine.instrument import counters
 from repro.errors import CheckpointError, EmptyInputError, StateCodecError
@@ -61,6 +62,14 @@ class DiscoveryState:
     #: Registry name; doubles as the payload-kind suffix.
     algorithm: str = ""
 
+    #: Optional value-domain sidecar (PR 8): per-path sketches and
+    #: discriminant evidence.  ``None`` (the default) keeps structural
+    #: discovery value-free; when set, ``absorb``/``absorb_typed``
+    #: also observe the record's *values*, and merge/serialization
+    #: carry the sidecar along.  Strictly additive: the structural
+    #: statistics and synthesized schema are untouched either way.
+    enrichment: Optional[EnrichmentState] = None
+
     # -- construction ---------------------------------------------------------
 
     @classmethod
@@ -72,7 +81,24 @@ class DiscoveryState:
 
     def absorb(self, value: JsonValue) -> None:
         """Fold one JSON value into the state."""
-        self.absorb_type(type_of(value))
+        # type_of runs first so depth/shape errors surface before the
+        # enrichment sidecar sees anything — an errored record must
+        # leave the state wholly untouched.
+        tau = type_of(value)
+        self.absorb_type(tau)
+        if self.enrichment is not None:
+            self.enrichment.observe(value)
+
+    def absorb_typed(self, tau: JsonType, value: JsonValue) -> None:
+        """Fold a pre-tokenized ``(type, value)`` pair.
+
+        The enriched fused-ingest path: the tokenizer already produced
+        both the structural type and the value in one pass, so nothing
+        is re-derived here.
+        """
+        self.absorb_type(tau)
+        if self.enrichment is not None:
+            self.enrichment.observe(value)
 
     def absorb_type(self, tau: JsonType, count: int = 1) -> None:
         """Fold ``count`` records of type ``tau`` into the state."""
@@ -115,6 +141,22 @@ class DiscoveryState:
             )
         counters.add("state.merges")
 
+    def _merge_enrichment(
+        self, other: "DiscoveryState"
+    ) -> Optional[EnrichmentState]:
+        """The enrichment sidecar of ``self.merge(other)``.
+
+        Both enriched or both plain; a mixed merge would silently drop
+        half the value evidence, so it is an error.
+        """
+        if self.enrichment is None and other.enrichment is None:
+            return None
+        if self.enrichment is None or other.enrichment is None:
+            raise ValueError(
+                "cannot merge an enriched state with an unenriched one"
+            )
+        return self.enrichment.merge(other.enrichment)
+
     # -- synthesis ------------------------------------------------------------
 
     def synthesize(self) -> Schema:
@@ -131,6 +173,9 @@ class DiscoveryState:
     def to_bytes(self) -> bytes:
         enc = Encoder()
         self._write_body(enc)
+        enc.w.boolean(self.enrichment is not None)
+        if self.enrichment is not None:
+            codec.write_enrichment(enc, self.enrichment)
         return enc.finish(STATE_KIND_PREFIX + self.algorithm)
 
     @classmethod
@@ -149,6 +194,8 @@ class DiscoveryState:
             dec = Decoder(data, expect_kind=STATE_KIND_PREFIX + cls.algorithm)
             target = cls
         state = target._read_body(dec)
+        if dec.r.boolean():
+            state.enrichment = codec.read_enrichment(dec)
         dec.finish()
         return state
 
@@ -201,6 +248,7 @@ class LReduceState(DiscoveryState):
         self._check_mergeable(other)
         merged = LReduceState()
         merged.bag = self.bag.merge(other.bag)
+        merged.enrichment = self._merge_enrichment(other)
         return merged
 
     def synthesize(self) -> Schema:
@@ -264,6 +312,7 @@ class KReduceState(DiscoveryState):
         merged = KReduceState()
         merged._schema = merge_k_schemas(self._schema, other._schema)
         merged._count = self._count + other._count
+        merged.enrichment = self._merge_enrichment(other)
         return merged
 
     def synthesize(self) -> Schema:
@@ -332,6 +381,7 @@ class JxplainState(DiscoveryState):
         merged = JxplainState(self.config)
         merged.bag = self.bag.merge(other.bag)
         merged.tree = self.tree.merge(other.tree)
+        merged.enrichment = self._merge_enrichment(other)
         return merged
 
     @property
@@ -417,32 +467,45 @@ def _state_class_for_kind(kind: str):
 
 
 def state_for_algorithm(
-    name: str, config: Optional[JxplainConfig] = None
+    name: str,
+    config: Optional[JxplainConfig] = None,
+    enrich=None,
 ) -> DiscoveryState:
     """An empty state for a discoverer registry name.
 
     The JXPLAIN family maps onto :class:`JxplainState` with the
     matching entity strategy; ``config`` (when given) seeds the
     JXPLAIN configuration and is rejected for the reductions, which
-    have no knobs.
+    have no knobs.  ``enrich`` — ``None``, a ``--enrich`` spec string
+    like ``"sketches,unions"``, or an
+    :class:`~repro.discovery.sketches.EnrichmentOptions` — attaches a
+    value-domain enrichment sidecar to the state.
     """
+    options = parse_enrich_spec(enrich)
     if name == "l-reduce":
         if config is not None:
             raise ValueError("l-reduce takes no configuration")
-        return LReduceState()
-    if name == "k-reduce":
+        state: DiscoveryState = LReduceState()
+    elif name == "k-reduce":
         if config is not None:
             raise ValueError("k-reduce takes no configuration")
-        return KReduceState()
-    if name in ("jxplain", "jxplain-pipeline", "bimax-merge"):
-        return JxplainState(config)
-    if name == "bimax-naive":
+        state = KReduceState()
+    elif name in ("jxplain", "jxplain-pipeline", "bimax-merge"):
+        state = JxplainState(config)
+    elif name == "bimax-naive":
         base = config or JxplainConfig()
-        return JxplainState(
+        state = JxplainState(
             base.with_(entity_strategy=EntityStrategy.BIMAX_NAIVE)
         )
-    known = "l-reduce, k-reduce, jxplain, jxplain-pipeline, bimax-merge, bimax-naive"
-    raise ValueError(f"unknown algorithm {name!r}; known: {known}")
+    else:
+        known = (
+            "l-reduce, k-reduce, jxplain, jxplain-pipeline, "
+            "bimax-merge, bimax-naive"
+        )
+        raise ValueError(f"unknown algorithm {name!r}; known: {known}")
+    if options is not None:
+        state.enrichment = EnrichmentState(options)
+    return state
 
 
 # -- checkpoint files ---------------------------------------------------------

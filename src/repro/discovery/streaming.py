@@ -104,10 +104,20 @@ class StreamingJxplain:
         *,
         resynthesize_after: int = 32,
         max_retained: int = 50_000,
+        enrich=None,
     ):
         if resynthesize_after <= 0:
             raise ValueError("resynthesize_after must be positive")
         self._state = JxplainState(config)
+        if enrich is not None:
+            from repro.discovery.sketches import (
+                EnrichmentState,
+                parse_enrich_spec,
+            )
+
+            self._state.enrichment = EnrichmentState(
+                parse_enrich_spec(enrich)
+            )
         self.config = self._state.config
         self.resynthesize_after = resynthesize_after
         self.max_retained = max_retained
@@ -178,12 +188,16 @@ class StreamingJxplain:
         """
         self._count += 1
         tau = type_of(record)
+        # ``absorb_typed`` keeps an enriched state's sidecar in step
+        # with the structural fold: enrichment observes exactly the
+        # records whose types are absorbed, so records dropped by the
+        # ``max_retained`` cap leave both sides untouched.
         if tau in self._seen:
-            self._state.absorb_type(tau)
+            self._state.absorb_typed(tau, record)
             return False
         self._seen.add(tau)
         if self._state.distinct_count < self.max_retained:
-            self._state.absorb_type(tau)
+            self._state.absorb_typed(tau, record)
         else:
             self._dropped_types += 1
         novel = self._schema is None or not self._schema.admits_type(tau)

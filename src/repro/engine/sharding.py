@@ -76,7 +76,9 @@ SHARDS_PER_WORKER = 2
 #: Manifest file name inside a shard checkpoint directory.
 MANIFEST_NAME = "manifest.json"
 
-_MANIFEST_VERSION = 1
+#: Version 2: manifests carry an ``enrich`` key and state files are
+#: codec-version-2 bytes (enrichment-capable).
+_MANIFEST_VERSION = 2
 
 
 def default_shard_count(file_size: int, workers: int) -> int:
@@ -156,6 +158,11 @@ class ShardTask:
     on_bad_record: str = "raise"
     ingest: str = "fused"
     checkpoint_dir: Optional[str] = None
+    #: Parsed :class:`~repro.discovery.sketches.EnrichmentOptions`
+    #: (frozen, picklable) or ``None``.  Enriched shards ingest with
+    #: the typed reader — sketches need the parsed values, so the
+    #: structural-hash fast path and the bag fold don't apply.
+    enrich: Optional[object] = None
 
 
 @dataclass
@@ -335,11 +342,43 @@ def _run_shard(task: ShardTask) -> ShardResult:
 
     before = _perf_snapshot()
     report = IngestReport(path=task.path, policy=task.on_bad_record)
-    bag = CountedBag()
     end = task.end
-    if task.ingest == "fused":
+    state = state_for_algorithm(
+        task.algorithm, task.config, enrich=task.enrich
+    )
+    if task.enrich is not None:
+        # Enrichment needs every record's parsed value, so the shard
+        # folds per record through the typed reader instead of through
+        # the bag.  Per-record absorption and the bag fold are
+        # byte-identical on the structural side (bag order is
+        # first-occurrence order), so enriched partials still strip to
+        # the plain partials' bytes.
+        if task.ingest == "fused":
+            from repro.io.fastpath import read_jsonlines_typed
+
+            for tau, value in read_jsonlines_typed(
+                task.path,
+                on_bad_record=task.on_bad_record,
+                report=report,
+                start=task.start,
+                end=end,
+            ):
+                state.absorb_typed(tau, value)
+        else:
+            from repro.io.jsonlines import read_jsonlines
+
+            for value in read_jsonlines(
+                task.path,
+                on_bad_record=task.on_bad_record,
+                report=report,
+                start=task.start,
+                end=end,
+            ):
+                state.absorb(value)
+    elif task.ingest == "fused":
         from repro.io.fastpath import read_jsonlines_fused
 
+        bag = CountedBag()
         for tau in read_jsonlines_fused(
             task.path,
             on_bad_record=task.on_bad_record,
@@ -348,10 +387,12 @@ def _run_shard(task: ShardTask) -> ShardResult:
             end=end,
         ):
             bag.add(tau)
+        state.absorb_bag(bag)
     else:
         from repro.io.jsonlines import read_jsonlines
         from repro.jsontypes.types import type_of
 
+        bag = CountedBag()
         for value in read_jsonlines(
             task.path,
             on_bad_record=task.on_bad_record,
@@ -360,8 +401,7 @@ def _run_shard(task: ShardTask) -> ShardResult:
             end=end,
         ):
             bag.add(type_of(value))
-    state = state_for_algorithm(task.algorithm, task.config)
-    state.absorb_bag(bag)
+        state.absorb_bag(bag)
     state_bytes = state.to_bytes()
     counters.add("sharding.shards_completed")
     deltas = _snapshot_delta(before, _perf_snapshot())
@@ -427,7 +467,9 @@ class ShardCoordinator:
         on_bad_record: str = "raise",
         ingest: str = "fused",
         checkpoint_dir=None,
+        enrich=None,
     ) -> None:
+        from repro.discovery.sketches import parse_enrich_spec
         from repro.io.jsonlines import _check_ingest_mode, _check_policy
 
         _check_policy(on_bad_record)
@@ -436,11 +478,12 @@ class ShardCoordinator:
             raise EngineError(
                 f"merge_fanin must be >= 2, got {merge_fanin}"
             )
+        self.enrich = parse_enrich_spec(enrich)
         # Instantiating the empty state up front validates the
         # algorithm name and configuration before any fan-out.
         from repro.discovery.state import state_for_algorithm
 
-        state_for_algorithm(algorithm, config)
+        state_for_algorithm(algorithm, config, enrich=self.enrich)
         self.algorithm = algorithm
         self.config = config
         self.executor: Executor = resolve_executor(executor)
@@ -465,7 +508,7 @@ class ShardCoordinator:
         from repro.discovery.state import state_for_algorithm
 
         fingerprint = state_for_algorithm(
-            self.algorithm, self.config
+            self.algorithm, self.config, enrich=self.enrich
         ).to_bytes()
         return {
             "version": _MANIFEST_VERSION,
@@ -474,6 +517,10 @@ class ShardCoordinator:
             "algorithm": self.algorithm,
             "on_bad_record": self.on_bad_record,
             "ingest": self.ingest,
+            # Feature names only; sketch geometry is bound through
+            # ``empty_state_hex`` (an enriched empty state serializes
+            # its options).
+            "enrich": self.enrich.spec() if self.enrich else None,
             "empty_state_hex": fingerprint.hex(),
             "ranges": [[start, end] for start, end in plan.ranges],
         }
@@ -528,6 +575,7 @@ class ShardCoordinator:
                     on_bad_record=self.on_bad_record,
                     ingest=self.ingest,
                     checkpoint_dir=self.checkpoint_dir,
+                    enrich=self.enrich,
                 )
                 for index, (start, end) in enumerate(plan.ranges)
             ]
@@ -579,7 +627,9 @@ class ShardCoordinator:
         state = (
             level[0]
             if level
-            else state_for_algorithm(self.algorithm, self.config)
+            else state_for_algorithm(
+                self.algorithm, self.config, enrich=self.enrich
+            )
         )
         report = merge_ingest_reports(
             [
@@ -614,6 +664,7 @@ def discover_sharded(
     on_bad_record: str = "raise",
     ingest: str = "fused",
     checkpoint_dir=None,
+    enrich=None,
     timer: Optional[StageTimer] = None,
 ) -> ShardRunResult:
     """One-call sharded discovery (see :class:`ShardCoordinator`)."""
@@ -626,5 +677,6 @@ def discover_sharded(
         on_bad_record=on_bad_record,
         ingest=ingest,
         checkpoint_dir=checkpoint_dir,
+        enrich=enrich,
     )
     return coordinator.run(path, timer=timer)

@@ -67,6 +67,7 @@ from repro.jsontypes.tokenizer import (
     UNSAFE_BYTES,
     depth_exceeds,
     scan_type,
+    scan_typed,
 )
 from repro.jsontypes.types import JsonType, MAX_DEPTH
 
@@ -265,6 +266,135 @@ def _flush_counters(records: int, hits: int, misses: int, nbytes: int) -> None:
     counters.add("ingest.shape_hits", hits)
     counters.add("ingest.shape_misses", misses)
     counters.add("ingest.bytes", nbytes)
+
+
+def read_jsonlines_typed(
+    path: PathLike,
+    *,
+    on_bad_record: str = "raise",
+    report: Optional[IngestReport] = None,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> Iterator[Tuple[JsonType, object]]:
+    """Stream ``(type, value)`` pairs of a ``.jsonl`` file in one pass.
+
+    The enrichment sibling of :func:`read_jsonlines_fused`: the same
+    loop structure, policies, report accounting, ranged reads, and
+    error behaviour, but every record is parsed by the typed scanner
+    so the *value* survives alongside the interned type.  There is no
+    structural-hash fast path here — a cache hit skips parsing, and
+    enrichment sketches need the parsed values — so this reader costs
+    one full parse per line; that cost is exactly the sketch overhead
+    :mod:`benchmarks.bench_enrich` measures.
+
+    Yields the same types (the same interned objects) in the same
+    order as the fused reader, with the same :class:`IngestReport`, so
+    discovery over this reader is byte-identical to discovery over the
+    fused one.
+    """
+    _check_policy(on_bad_record)
+    if report is None:
+        report = IngestReport(path=str(path), policy=on_bad_record)
+    else:
+        report.policy = on_bad_record
+    keep_payload = on_bad_record == "collect"
+    records = 0
+    byte_offset = start
+    handle, mapped = open_line_source(path)
+    if start:
+        if mapped is not None:
+            mapped.seek(start)
+        else:
+            _seek_range_start(handle, path, start)
+    lines = iter(mapped.readline, b"") if mapped is not None else handle
+    try:
+        for line_number, line in enumerate(lines, start=1):
+            if end is not None and byte_offset >= end:
+                break
+            byte_offset += len(line)
+            report.total_lines = line_number
+            if line_number == 1 and start == 0 and line.startswith(_BOM_BYTES):
+                line = line[len(_BOM_BYTES):]
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                tau, value = scan_typed(stripped.decode("utf-8"))
+            except (ValueError, RecursionError) as exc:
+                if on_bad_record == "raise":
+                    raise DatasetError(
+                        f"{path}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                report.bad_records.append(
+                    BadRecord(
+                        line_number=line_number,
+                        byte_offset=byte_offset - len(line),
+                        error=f"{type(exc).__name__}: {exc}",
+                        payload=(
+                            stripped.decode("utf-8", "replace")[
+                                :BAD_PAYLOAD_LIMIT
+                            ]
+                            if keep_payload
+                            else ""
+                        ),
+                    )
+                )
+                _note_bad_record()
+                continue
+            if depth_exceeds(tau, MAX_DEPTH):
+                # Count first, then raise — the fused reader's exact
+                # ordering, which itself mirrors the classic path.
+                records += 1
+                report.record_count += 1
+                raise RecursionDepthError(
+                    "value exceeds maximum nesting depth"
+                )
+            records += 1
+            report.record_count += 1
+            yield tau, value
+    finally:
+        _flush_typed_counters(records, byte_offset - start)
+        if mapped is not None:
+            mapped.close()
+        handle.close()
+
+
+def _flush_typed_counters(records: int, nbytes: int) -> None:
+    # One locked add per counter per file; never per line.
+    from repro.engine.instrument import counters
+
+    counters.add("ingest.typed_records", records)
+    counters.add("ingest.bytes", nbytes)
+
+
+def absorb_jsonlines_typed(
+    state,
+    path: PathLike,
+    *,
+    on_bad_record: str = "raise",
+    start: int = 0,
+    end: Optional[int] = None,
+) -> IngestReport:
+    """One-pass *enriched* ingestion: types and values into a state.
+
+    The enrichment analogue of :func:`absorb_jsonlines_fused`: each
+    record's interned type feeds the structural fold and its parsed
+    value feeds the state's enrichment sidecar, via
+    ``state.absorb_typed``.  Works on unenriched states too (the value
+    is then simply dropped), so callers can branch on the reader
+    rather than the state.  Returns the filled report.
+    """
+    report = IngestReport(path=str(path), policy=on_bad_record)
+    absorb_typed = state.absorb_typed
+    for tau, value in read_jsonlines_typed(
+        path,
+        on_bad_record=on_bad_record,
+        report=report,
+        start=start,
+        end=end,
+    ):
+        absorb_typed(tau, value)
+    return report
 
 
 def ingest_jsonlines_fused(

@@ -203,6 +203,105 @@ def scan_type(text: str) -> JsonType:
     return _as_type(_DECODER.decode(text))
 
 
+# ---------------------------------------------------------------------------
+# The typed scanner: one parse producing the value AND its type.
+# ---------------------------------------------------------------------------
+#
+# Enriched discovery needs the values structural discovery discards,
+# so this second hooked decoder builds both trees in a single C-scanner
+# pass.  Hooks pass ``(value, type)`` tuples upward — unambiguous,
+# since the stock decoder never produces a tuple itself.
+
+
+def _as_typed(item) -> tuple:
+    if type(item) is tuple:
+        return item
+    if type(item) is list:
+        return _list_typed(item)
+    if item is None:
+        return (None, NULL)
+    if item is True or item is False:
+        return (item, BOOLEAN)
+    return (item, STRING)
+
+
+def _list_typed(root: list) -> tuple:
+    # Same explicit-stack post-order as _list_type, carrying the value
+    # list alongside the type tuple.  Frame: [source, next index,
+    # built values, built types].
+    frames = [[root, 0, [], []]]
+    while True:
+        frame = frames[-1]
+        source, index, values, element_types = frame
+        if index < len(source):
+            frame[1] = index + 1
+            item = source[index]
+            if type(item) is list:
+                frames.append([item, 0, [], []])
+            else:
+                value, tau = _as_typed(item)
+                values.append(value)
+                element_types.append(tau)
+        else:
+            frames.pop()
+            built = ArrayType(tuple(element_types))
+            tau = _intern(built) if _types._INTERN_ENABLED else built
+            if not frames:
+                return (values, tau)
+            frames[-1][2].append(values)
+            frames[-1][3].append(tau)
+
+
+def _typed_pairs_hook(pairs) -> tuple:
+    values = {}
+    fields = {}
+    for key, item in pairs:
+        value, tau = _as_typed(item)
+        values[key] = value
+        fields[key] = tau
+    built = ObjectType(fields)
+    return (values, _intern(built) if _types._INTERN_ENABLED else built)
+
+
+def _typed_int_hook(literal: str) -> tuple:
+    return (int(literal), NUMBER)
+
+
+def _typed_float_hook(literal: str) -> tuple:
+    return (float(literal), NUMBER)
+
+
+_TYPED_CONSTANTS = {
+    "NaN": float("nan"),
+    "Infinity": float("inf"),
+    "-Infinity": float("-inf"),
+}
+
+
+def _typed_constant_hook(literal: str) -> tuple:
+    return (_TYPED_CONSTANTS[literal], NUMBER)
+
+
+_TYPED_DECODER = json.JSONDecoder(
+    object_pairs_hook=_typed_pairs_hook,
+    parse_float=_typed_float_hook,
+    parse_int=_typed_int_hook,
+    parse_constant=_typed_constant_hook,
+)
+
+
+def scan_typed(text: str):
+    """Parse one JSON document into ``(type, value)`` in one pass.
+
+    The type is exactly ``scan_type(text)`` (same interned object);
+    the value is exactly ``json.loads(text)``; errors match both.
+    There is no shape-cache fast path here — a cache hit skips the
+    parse, and the whole point is that enrichment needs the values.
+    """
+    value, tau = _as_typed(_TYPED_DECODER.decode(text))
+    return tau, value
+
+
 def depth_exceeds(tau: JsonType, max_depth: int = MAX_DEPTH) -> bool:
     """Whether a type nests deeper than ``max_depth``, iteratively.
 

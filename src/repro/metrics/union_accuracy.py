@@ -1,0 +1,210 @@
+"""Tagged-union entity accuracy: discriminant clusters vs ground truth.
+
+The PR-8 tagged-union extractor claims that a detected discriminant
+key clusters records into the corpus's real entities.  This module
+scores that claim on the labelled synthetic datasets, next to the
+structural baselines, with the standard pair-counting clustering
+measures: over all record pairs, **precision** is the fraction of
+same-cluster pairs that share a ground-truth label and **recall** the
+fraction of same-label pairs that share a cluster (computed from the
+label × cluster contingency table, never by enumerating pairs).
+
+Three clusterings are compared per dataset:
+
+* **tagged-union** — group by the detected discriminant's value (one
+  extra ``rest`` cluster for records the decision does not cover);
+  datasets with no detected discriminant degrade to a single cluster,
+  so negatives are scored too, not skipped;
+* **bimax** — Algorithm 7 alone (``EntityStrategy.BIMAX_NAIVE``);
+* **bimax-merge** — Algorithms 7 + 8, JXPLAIN's default.
+
+Both the accuracy suite and :mod:`benchmarks.bench_enrich` call
+:func:`evaluate_tagged_union_detection`, so the pinned fixture and
+``BENCH_PR8.json`` can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets import make_dataset
+from repro.discovery.config import EntityStrategy, JxplainConfig
+from repro.discovery.jxplain import cluster_key_sets
+from repro.discovery.sketches import scalar_key
+from repro.discovery.state import state_for_algorithm
+from repro.discovery.tagged_unions import (
+    TaggedUnionConfig,
+    extract_tagged_unions,
+)
+from repro.entities.partitioner import EntityPartitioner
+from repro.metrics.entity_accuracy import record_features
+
+__all__ = [
+    "ClusteringScore",
+    "evaluate_tagged_union_detection",
+    "pair_scores",
+]
+
+
+@dataclass(frozen=True)
+class ClusteringScore:
+    """Pair-counting accuracy of one clustering against the labels."""
+
+    method: str
+    clusters: int
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return (
+            2.0
+            * self.precision
+            * self.recall
+            / (self.precision + self.recall)
+        )
+
+    def as_json(self) -> dict:
+        return {
+            "method": self.method,
+            "clusters": self.clusters,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def _pairs(count: int) -> int:
+    return count * (count - 1) // 2
+
+
+def pair_scores(
+    assignments: Sequence, labels: Sequence[str]
+) -> Tuple[float, float]:
+    """``(precision, recall)`` of a clustering via the contingency
+    table.
+
+    ``assignments[i]`` is record ``i``'s cluster id (any hashable);
+    ``labels[i]`` its ground-truth entity.  Degenerate cases (no
+    same-cluster pairs / no same-label pairs) score 1.0 — an empty
+    claim is vacuously correct.
+    """
+    if len(assignments) != len(labels):
+        raise ValueError(
+            f"{len(assignments)} assignments vs {len(labels)} labels"
+        )
+    cells: Dict[Tuple, int] = {}
+    cluster_sizes: Dict[object, int] = {}
+    label_sizes: Dict[str, int] = {}
+    for cluster, label in zip(assignments, labels):
+        cells[(cluster, label)] = cells.get((cluster, label), 0) + 1
+        cluster_sizes[cluster] = cluster_sizes.get(cluster, 0) + 1
+        label_sizes[label] = label_sizes.get(label, 0) + 1
+    true_pairs = sum(_pairs(count) for count in cells.values())
+    same_cluster = sum(_pairs(count) for count in cluster_sizes.values())
+    same_label = sum(_pairs(count) for count in label_sizes.values())
+    precision = true_pairs / same_cluster if same_cluster else 1.0
+    recall = true_pairs / same_label if same_label else 1.0
+    return precision, recall
+
+
+def _union_assignments(records: Sequence[dict], decision) -> List:
+    """Cluster ids under a tagged-union decision (or one cluster)."""
+    if decision is None:
+        return [0] * len(records)
+    branch_keys = {scalar_key(branch.value) for branch in decision.branches}
+    assignments: List = []
+    for record in records:
+        value = record.get(decision.key)
+        try:
+            tagged = scalar_key(value)
+        except TypeError:
+            tagged = None
+        if tagged is not None and tagged in branch_keys:
+            assignments.append(tagged)
+        else:
+            assignments.append(("rest",))
+    return assignments
+
+
+def evaluate_tagged_union_detection(
+    name: str,
+    *,
+    n: int = 600,
+    seed: int = 3,
+    config: Optional[TaggedUnionConfig] = None,
+) -> dict:
+    """Score tagged-union detection on one labelled dataset.
+
+    Returns a JSON-ready dict: the detected discriminant (or ``None``),
+    its qualification statistics, and a :class:`ClusteringScore` per
+    method.  Deterministic under ``(name, n, seed)``.
+    """
+    generator = make_dataset(name)
+    labeled = generator.generate_labeled(n, seed)
+    records = [record for _, record in labeled]
+
+    state = state_for_algorithm("jxplain", enrich="unions")
+    for record in records:
+        state.absorb(record)
+    decisions = extract_tagged_unions(state, config)
+    decision = decisions[0] if decisions else None
+
+    # Score over the records the structural baselines see: the
+    # object-typed ones (every paper dataset is all-object, but the
+    # guard keeps the metric total).
+    jx_config = JxplainConfig()
+    features, labels = record_features(labeled, jx_config)
+    object_records = [
+        record for record in records if isinstance(record, dict)
+    ]
+    scores: List[ClusteringScore] = []
+    union_assignments = _union_assignments(object_records, decision)
+    precision, recall = pair_scores(union_assignments, labels)
+    scores.append(
+        ClusteringScore(
+            method="tagged-union",
+            clusters=len(set(union_assignments)),
+            precision=precision,
+            recall=recall,
+        )
+    )
+    for method, strategy in (
+        ("bimax", EntityStrategy.BIMAX_NAIVE),
+        ("bimax-merge", EntityStrategy.BIMAX_MERGE),
+    ):
+        strategy_config = jx_config.with_(entity_strategy=strategy)
+        partitioner = EntityPartitioner(
+            cluster_key_sets(list(features), strategy_config)
+        )
+        assignments = [
+            partitioner.assign(feature_set) for feature_set in features
+        ]
+        precision, recall = pair_scores(assignments, labels)
+        scores.append(
+            ClusteringScore(
+                method=method,
+                clusters=len(set(assignments)),
+                precision=precision,
+                recall=recall,
+            )
+        )
+    return {
+        "dataset": name,
+        "records": len(records),
+        "discriminant": (
+            None
+            if decision is None
+            else {
+                "key": decision.key,
+                "branches": len(decision.branches),
+                "entropy": decision.entropy,
+                "coverage": decision.coverage,
+                "predictiveness": decision.predictiveness,
+            }
+        ),
+        "scores": [score.as_json() for score in scores],
+    }

@@ -14,6 +14,7 @@ from repro.schema.entropy import (
     schema_entropy,
 )
 from repro.schema.docgen import schema_to_markdown
+from repro.schema.enrich import annotate_json_schema
 from repro.schema.jsonschema import DIALECT, from_json_schema, to_json_schema
 from repro.schema.subsume import simplify_union, subsumes
 from repro.schema.nodes import (
@@ -60,6 +61,7 @@ __all__ = [
     "STRING_S",
     "Schema",
     "Union",
+    "annotate_json_schema",
     "entity_count",
     "estimate_false_positive_rate",
     "exact_schema",

@@ -1,0 +1,371 @@
+"""Property tests for the enrichment sketch monoids (PR 8).
+
+Three layers of law, each load-bearing for the sharded/checkpointed
+pipeline:
+
+* **Monoid laws** per sketch — identity, associativity, commutativity,
+  and absorb/merge agreement (absorbing a concatenation equals merging
+  independently-absorbed halves).  These are what make enrichment safe
+  to carry through any shard count, merge fan-in, and resume order.
+* **Byte determinism** — equal sketches serialize to equal codec
+  bytes, and ``from_bytes(to_bytes(s)) == s``.  State equality *is*
+  byte equality everywhere else in the repo; the sidecar must not
+  weaken that.
+* **Saturation** as an absorbing element of the discriminant-evidence
+  monoid: once a key's value table overflows its cap, every grouping
+  of the same observations saturates identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.discovery.sketches import (
+    BloomMembershipSketch,
+    DiscriminantAccumulator,
+    EnrichmentOptions,
+    EnrichmentState,
+    HLLCardinalitySketch,
+    KeyEvidence,
+    MinMaxSketch,
+    PathSketches,
+    SKETCH_CLASSES,
+    StringFormatSketch,
+    parse_enrich_spec,
+    record_shape,
+    scalar_fingerprint,
+    scalar_from_key,
+    scalar_key,
+)
+from repro.discovery.state import state_for_algorithm
+from tests.conftest import json_values
+
+ALGORITHMS = ("l-reduce", "k-reduce", "jxplain")
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=20),
+    st.sampled_from(
+        [
+            "2021-06-01T12:30:00Z",
+            "2021-06-01",
+            "12:30:00",
+            "a3bb189e-8bf9-3888-9912-ace4e6543002",
+            "user@example.com",
+            "https://example.com/x",
+        ]
+    ),
+)
+
+scalar_lists = st.lists(scalars, max_size=30)
+
+
+def _build(cls, values):
+    sketch = cls()
+    for value in values:
+        sketch.absorb(value)
+    return sketch
+
+
+@pytest.mark.parametrize("cls", SKETCH_CLASSES)
+class TestSketchMonoidLaws:
+    @given(values=scalar_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_identity(self, cls, values):
+        sketch = _build(cls, values)
+        assert cls.empty().merge(sketch) == sketch
+        assert sketch.merge(cls.empty()) == sketch
+
+    @given(a=scalar_lists, b=scalar_lists, c=scalar_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_associative_and_commutative(self, cls, a, b, c):
+        sa, sb, sc = (_build(cls, chunk) for chunk in (a, b, c))
+        assert sa.merge(sb).merge(sc) == sa.merge(sb.merge(sc))
+        assert sa.merge(sb) == sb.merge(sa)
+
+    @given(a=scalar_lists, b=scalar_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_absorb_agrees_with_merge(self, cls, a, b):
+        assert _build(cls, a + b) == _build(cls, a).merge(_build(cls, b))
+
+    @given(values=scalar_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_order_invariance(self, cls, values):
+        assert _build(cls, values) == _build(cls, list(reversed(values)))
+
+    @given(values=scalar_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_codec_round_trip(self, cls, values):
+        sketch = _build(cls, values)
+        decoded = type(sketch).from_bytes(sketch.to_bytes())
+        assert decoded == sketch
+        # Equal sketches serialize to equal bytes — byte equality IS
+        # state equality, in both directions.
+        assert decoded.to_bytes() == sketch.to_bytes()
+
+
+class TestSketchSemantics:
+    @given(values=st.lists(
+        st.one_of(
+            st.integers(min_value=-(2**70), max_value=2**70),
+            st.floats(allow_nan=True, allow_infinity=True),
+        ),
+        min_size=1,
+        max_size=30,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_bounds(self, values):
+        sketch = _build(MinMaxSketch, values)
+        # Mirror the documented canonicalization: NaN skipped, ints
+        # beyond the svarint range collapse to float at absorb.
+        kept = []
+        for value in values:
+            if isinstance(value, float):
+                if not math.isnan(value):
+                    kept.append(value)
+            elif not -(2**62 - 1) <= value <= 2**62 - 1:
+                kept.append(float(value))
+            else:
+                kept.append(value)
+        if not kept:
+            assert sketch.count == 0
+            return
+        assert sketch.count == len(kept)
+        assert sketch.minimum == min(kept)
+        assert sketch.maximum == max(kept)
+
+    @given(values=scalar_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_bloom_has_no_false_negatives(self, values):
+        sketch = _build(BloomMembershipSketch, values)
+        for value in values:
+            assert sketch.might_contain(value)
+
+    def test_hll_estimate_tracks_distinct_count(self):
+        sketch = HLLCardinalitySketch(precision=10)
+        for index in range(5000):
+            sketch.absorb(f"value-{index}")
+        # Relative error ~1.04/sqrt(1024) ≈ 3.3%; allow 4 sigma.
+        assert abs(sketch.estimate() - 5000) / 5000 < 0.13
+
+    def test_format_dominance_requires_unanimity(self):
+        sketch = _build(StringFormatSketch, ["2021-06-01", "2021-06-02"])
+        assert sketch.dominant() == "date"
+        sketch.absorb("not a date")
+        assert sketch.dominant() is None
+
+    @given(value=scalars)
+    @settings(max_examples=80, deadline=None)
+    def test_int_valued_floats_share_fingerprints(self, value):
+        if isinstance(value, float) and value.is_integer():
+            assert scalar_fingerprint(value) == scalar_fingerprint(
+                int(value)
+            )
+
+    @given(value=st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.text(max_size=20),
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_key_round_trips(self, value):
+        assert scalar_from_key(scalar_key(value)) == value
+        # bool/int never collide despite True == 1.
+        assert scalar_key(True) != scalar_key(1)
+        assert scalar_key(False) != scalar_key(0)
+
+
+records = st.dictionaries(
+    st.sampled_from(["type", "kind", "id", "name", "x", "payload"]),
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-100, max_value=100),
+        st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"]),
+        st.dictionaries(
+            st.sampled_from(["u", "v"]),
+            st.integers(min_value=0, max_value=3),
+            max_size=2,
+        ),
+    ),
+    max_size=4,
+)
+record_lists = st.lists(records, max_size=25)
+
+#: A tiny cap so hypothesis actually reaches saturation.
+TINY = EnrichmentOptions(
+    sketches=False, unions=True, union_value_cap=2, union_string_cap=4
+)
+
+
+class TestDiscriminantEvidence:
+    @given(a=record_lists, b=record_lists, c=record_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_saturation_is_associative_and_commutative(self, a, b, c):
+        def build(chunks):
+            acc = DiscriminantAccumulator(
+                TINY.union_value_cap, TINY.union_string_cap
+            )
+            for chunk in chunks:
+                for record in chunk:
+                    acc.observe(record)
+            return acc
+
+        def merged(*accs):
+            result = accs[0]
+            for acc in accs[1:]:
+                result = result.merge(acc)
+            return result
+
+        left = merged(merged(build([a]), build([b])), build([c]))
+        right = merged(build([a]), merged(build([b]), build([c])))
+        assert left == right
+        assert left == build([a, b, c])
+        assert merged(build([a]), build([b])) == merged(
+            build([b]), build([a])
+        )
+
+    def test_saturated_table_absorbs_everything(self):
+        evidence = KeyEvidence()
+        shape = ("k",)
+        for index in range(TINY.union_value_cap + 1):
+            evidence.observe(index, shape, TINY.union_value_cap)
+        assert evidence.saturated
+        assert not evidence.values
+        # Saturation is absorbing under merge, in either order.
+        fresh = KeyEvidence()
+        fresh.observe(1, shape, TINY.union_value_cap)
+        assert evidence.merge(fresh, TINY.union_value_cap).saturated
+        assert fresh.merge(evidence, TINY.union_value_cap).saturated
+
+    @given(record=records)
+    @settings(max_examples=60, deadline=None)
+    def test_record_shape_is_depth_two_and_sorted(self, record):
+        shape = record_shape(record)
+        assert shape == tuple(sorted(set(shape)))
+        for key, value in record.items():
+            assert key in shape
+            if isinstance(value, dict):
+                for child in value:
+                    assert f"{key}.{child}" in shape
+
+
+ENRICH_SPECS = ("sketches", "unions", "sketches,unions")
+
+
+class TestEnrichmentStateLaws:
+    @given(a=st.lists(json_values(8), max_size=15),
+           b=st.lists(json_values(8), max_size=15))
+    @settings(max_examples=50, deadline=None)
+    @pytest.mark.parametrize("spec", ENRICH_SPECS)
+    def test_observe_agrees_with_merge(self, spec, a, b):
+        options = parse_enrich_spec(spec)
+
+        def build(values):
+            state = EnrichmentState(options)
+            for value in values:
+                state.observe(value)
+            return state
+
+        together = build(a + b)
+        merged = build(a).merge(build(b))
+        assert merged == together
+        assert merged.to_bytes() == together.to_bytes()
+        # The sidecar alone is merge-commutative (unlike the
+        # first-occurrence-ordered structural bag).
+        assert build(b).merge(build(a)).to_bytes() == together.to_bytes()
+
+    @given(values=st.lists(json_values(8), max_size=15))
+    @settings(max_examples=50, deadline=None)
+    @pytest.mark.parametrize("spec", ENRICH_SPECS)
+    def test_codec_round_trip(self, spec, values):
+        state = EnrichmentState(parse_enrich_spec(spec))
+        for value in values:
+            state.observe(value)
+        decoded = EnrichmentState.from_bytes(state.to_bytes())
+        assert decoded == state
+        assert decoded.to_bytes() == state.to_bytes()
+
+    def test_identity(self):
+        state = EnrichmentState(parse_enrich_spec("sketches,unions"))
+        for value in ({"a": 1}, {"a": "x", "b": [1.5, None]}):
+            state.observe(value)
+        assert state.empty_like().merge(state).to_bytes() == state.to_bytes()
+        assert state.merge(state.empty_like()).to_bytes() == state.to_bytes()
+
+    def test_mismatched_options_refuse_to_merge(self):
+        sketchy = EnrichmentState(parse_enrich_spec("sketches"))
+        unions = EnrichmentState(parse_enrich_spec("unions"))
+        with pytest.raises(ValueError):
+            sketchy.merge(unions)
+
+
+class TestEnrichedDiscoveryStates:
+    @given(a=st.lists(json_values(8), max_size=12),
+           b=st.lists(json_values(8), max_size=12))
+    @settings(max_examples=40, deadline=None)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_split_merge_equals_sequential(self, algorithm, a, b):
+        sequential = state_for_algorithm(algorithm, enrich="sketches,unions")
+        for value in a + b:
+            sequential.absorb(value)
+        left = state_for_algorithm(algorithm, enrich="sketches,unions")
+        right = state_for_algorithm(algorithm, enrich="sketches,unions")
+        for value in a:
+            left.absorb(value)
+        for value in b:
+            right.absorb(value)
+        merged = left.merge(right)
+        assert merged.to_bytes() == sequential.to_bytes()
+        decoded = type(sequential).from_bytes(sequential.to_bytes())
+        assert decoded.to_bytes() == sequential.to_bytes()
+        assert decoded.enrichment is not None
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_enriched_refuses_unenriched_merge(self, algorithm):
+        rich = state_for_algorithm(algorithm, enrich="sketches")
+        plain = state_for_algorithm(algorithm)
+        rich.absorb({"a": 1})
+        plain.absorb({"a": 2})
+        with pytest.raises(ValueError):
+            rich.merge(plain)
+        with pytest.raises(ValueError):
+            plain.merge(rich)
+
+    @given(values=st.lists(json_values(8), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_enrichment_is_strictly_additive(self, algorithm, values):
+        """Stripping the sidecar from an enriched state's bytes yields
+        exactly the unenriched state's bytes — the differential-oracle
+        invariant, at the state level."""
+        plain = state_for_algorithm(algorithm)
+        rich = state_for_algorithm(algorithm, enrich="sketches,unions")
+        for value in values:
+            plain.absorb(value)
+            rich.absorb(value)
+        clone = type(rich).from_bytes(rich.to_bytes())
+        clone.enrichment = None
+        assert clone.to_bytes() == plain.to_bytes()
+
+
+class TestPathSketchBundles:
+    @given(a=scalar_lists, b=scalar_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_bundle_merge_agrees_with_absorb(self, a, b):
+        options = EnrichmentOptions()
+
+        def build(values):
+            bundle = PathSketches(options)
+            for value in values:
+                bundle.absorb(value)
+            return bundle
+
+        assert build(a).merge(build(b)) == build(a + b)
