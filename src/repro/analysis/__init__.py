@@ -23,6 +23,7 @@ findings live in a checked-in baseline file.
 
 from repro.analysis.base import (
     ANALYZER_VERSION,
+    FinalizeContext,
     LintError,
     Rule,
     RuleContext,
@@ -42,6 +43,11 @@ from repro.analysis.driver import (
 )
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.report import render_json, render_text, summary_line
+from repro.analysis.sarif import (
+    result_fingerprints,
+    sarif_report,
+    validate_sarif,
+)
 from repro.analysis.suppressions import Suppressions
 
 __all__ = [
@@ -50,6 +56,7 @@ __all__ = [
     "DEFAULT_BASELINE_PATH",
     "DEFAULT_CACHE_PATH",
     "DEFAULT_EXCLUDES",
+    "FinalizeContext",
     "Finding",
     "LintError",
     "LintResult",
@@ -63,8 +70,11 @@ __all__ = [
     "register_rule",
     "render_json",
     "render_text",
+    "result_fingerprints",
     "rule_ids",
     "rules_signature",
     "run_lint",
+    "sarif_report",
     "summary_line",
+    "validate_sarif",
 ]

@@ -20,11 +20,41 @@ from repro.analysis.findings import Finding, Severity
 from repro.errors import ReproError
 
 #: Bump when rule semantics change, to invalidate cached file reports.
-ANALYZER_VERSION = 1
+ANALYZER_VERSION = 2
 
 
 class LintError(ReproError, RuntimeError):
     """The analyzer was configured or invoked incorrectly."""
+
+
+class FinalizeContext:
+    """What the driver knows at finalize time, offered to the rules.
+
+    The finalize phase is keyed on the rule-set-wide content-hash
+    vector (every linted file's digest), so a rule can trust that
+    ``previous`` state corresponds exactly to the digests it recorded
+    there — the basis for incremental recomputation (R8's summary
+    invalidation) and for the finalize-phase cache itself.
+    """
+
+    def __init__(
+        self,
+        *,
+        digests: Optional[Dict[str, str]] = None,
+        executor=None,
+        previous: Optional[Dict[str, dict]] = None,
+    ):
+        #: rel path → sha256 of the file content this run.
+        self.digests: Dict[str, str] = dict(digests or {})
+        #: The run's executor backend, for fan-out inside finalize.
+        self.executor = executor
+        #: state key → payload stored by the previous finalize run.
+        self.previous: Dict[str, dict] = dict(previous or {})
+        #: state key → payload to persist for the next run.
+        self.new_state: Dict[str, dict] = {}
+        #: Scratch space shared by the rules of one finalize pass
+        #: (e.g. the interprocedural project model, built once).
+        self.shared: dict = {}
 
 
 class RuleContext:
@@ -68,6 +98,11 @@ class Rule:
     severity: Severity = Severity.WARNING
     #: One-line statement of the law the rule guards.
     law: str = ""
+    #: Key the rule's facts are stored under in per-file reports.
+    #: Rules sharing one extraction (R8–R10's interprocedural payload)
+    #: use a common key so the cache holds the payload once; ``None``
+    #: means the rule id.
+    facts_key: Optional[str] = None
 
     def check(
         self, ctx: RuleContext
@@ -76,12 +111,16 @@ class Rule:
         raise NotImplementedError
 
     def finalize(
-        self, facts_by_file: Dict[str, List[dict]]
+        self,
+        facts_by_file: Dict[str, List[dict]],
+        context: Optional[FinalizeContext] = None,
     ) -> List[Finding]:
         """Cross-file reconciliation over every file's facts.
 
         Called once per run, in the driver, after all files have been
-        analyzed (or served from cache).  The default is no cross-file
+        analyzed (or served from cache).  ``context`` (when the driver
+        supplies one) carries digests, the executor backend, and the
+        previous run's finalize state.  The default is no cross-file
         component.
         """
         return []

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import os
 from collections import Counter
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.analysis.base import LintError
 from repro.analysis.findings import Finding
@@ -91,6 +91,56 @@ class Baseline:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+    @classmethod
+    def updated(
+        cls,
+        previous: "Baseline",
+        findings: Sequence[Finding],
+        *,
+        linted_files: Iterable[str] = (),
+    ) -> Tuple["Baseline", List[dict], List[dict]]:
+        """Regenerate the baseline, pruning fingerprints that no longer
+        occur.
+
+        Entries for files *outside* ``linted_files`` are carried over
+        untouched — a scoped ``--update-baseline src/repro/codec.py``
+        run must not discard valid waivers for files it never looked
+        at.  Returns ``(baseline, added_entries, removed_entries)``
+        where added/removed compare against ``previous`` by
+        fingerprint (count changes show up as both).
+        """
+        fresh = cls.from_findings(findings)
+        linted = set(linted_files)
+        carried = [
+            entry
+            for entry in previous.entries
+            if entry.get("file") not in linted
+        ]
+        entries = sorted(
+            carried + fresh.entries,
+            key=lambda entry: (
+                entry.get("file", ""),
+                entry.get("rule", ""),
+                entry.get("message", ""),
+            ),
+        )
+        allowed: Dict[str, int] = {}
+        for entry in entries:
+            allowed[entry["fingerprint"]] = (
+                allowed.get(entry["fingerprint"], 0) + entry.get("count", 1)
+            )
+
+        def signature(entry: dict) -> Tuple[str, int]:
+            return (entry["fingerprint"], entry.get("count", 1))
+
+        previous_keys = Counter(signature(e) for e in previous.entries)
+        current_keys = Counter(signature(e) for e in entries)
+        added = [e for e in entries if previous_keys[signature(e)] == 0]
+        removed = [
+            e for e in previous.entries if current_keys[signature(e)] == 0
+        ]
+        return cls(allowed, entries), added, removed
 
     def apply(self, findings: Sequence[Finding]) -> List[Finding]:
         """Mark findings covered by the baseline (first-come within the

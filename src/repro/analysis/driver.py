@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.base import (
+    FinalizeContext,
     LintError,
     Rule,
     RuleContext,
@@ -57,7 +58,7 @@ DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
 #: Rule id attached to files that fail to parse.
 PARSE_FAILURE_RULE = "R0"
 
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 
 
 def discover_files(
@@ -135,7 +136,9 @@ def analyze_source(
             ]
         findings.extend(rule_findings)
         if rule_facts:
-            facts[rule.rule_id] = list(rule_facts)
+            # Rules sharing a facts key (R8–R10's interprocedural
+            # payload) store it once; the first producer wins.
+            facts.setdefault(rule.facts_key or rule.rule_id, list(rule_facts))
     return findings, facts
 
 
@@ -200,12 +203,14 @@ class LintResult:
 
 
 class _LintCache:
-    """Content-hash cache of per-file reports (findings + facts)."""
+    """Content-hash cache of per-file reports (findings + facts), plus
+    the finalize-phase entry keyed on the rule-set-wide digest vector."""
 
     def __init__(self, path: Optional[str], signature: str):
         self._path = path
         self._signature = signature
         self._files: Dict[str, dict] = {}
+        self._finalize: Optional[dict] = None
         if path is None or not os.path.exists(path):
             return
         try:
@@ -218,6 +223,7 @@ class _LintCache:
             and payload.get("signature") == signature
         ):
             self._files = payload.get("files", {})
+            self._finalize = payload.get("finalize")
 
     def lookup(self, rel_path: str, digest: str) -> Optional[dict]:
         entry = self._files.get(rel_path)
@@ -228,6 +234,13 @@ class _LintCache:
     def store(self, rel_path: str, digest: str, report: dict) -> None:
         self._files[rel_path] = {"sha256": digest, "report": report}
 
+    def finalize_entry(self) -> Optional[dict]:
+        """The stored finalize phase: vector, findings, rule state."""
+        return self._finalize
+
+    def store_finalize(self, entry: dict) -> None:
+        self._finalize = entry
+
     def save(self) -> None:
         if self._path is None:
             return
@@ -236,6 +249,8 @@ class _LintCache:
             "signature": self._signature,
             "files": self._files,
         }
+        if self._finalize is not None:
+            payload["finalize"] = self._finalize
         tmp_path = f"{self._path}.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True)
@@ -310,7 +325,6 @@ def run_lint(
             reports[rel_path] = report
             if digests[rel_path]:
                 cache.store(rel_path, digests[rel_path], report)
-    cache.save()
     counters.add("lint.files_analyzed", len(pending))
     counters.add("lint.cache_hits", cache_hits)
 
@@ -323,9 +337,46 @@ def run_lint(
             Finding.from_dict(payload) for payload in report["findings"]
         )
 
-    findings.extend(
-        _finalized_findings(active_rules, rel_paths, files, reports)
+    # The finalize phase is keyed on the rule-set-wide content-hash
+    # vector: any single-file edit changes the vector and re-runs every
+    # cross-file rule over fresh facts (no stale cross-file verdicts),
+    # while an untouched tree replays the stored findings outright.
+    vector_basis = "\n".join(
+        f"{rel_path}\0{digests.get(rel_path, '')}"
+        for rel_path in sorted(rel_paths)
     )
+    vector = hashlib.sha256(
+        f"{signature}\n{vector_basis}".encode("utf-8")
+    ).hexdigest()
+    stored = cache.finalize_entry()
+    if stored is not None and stored.get("vector") == vector:
+        finalize_findings = [
+            Finding.from_dict(payload)
+            for payload in stored.get("findings", ())
+        ]
+        counters.add("lint.finalize_cache_hits", 1)
+    else:
+        finalize_context = FinalizeContext(
+            digests=digests,
+            executor=backend,
+            previous=(stored or {}).get("state", {}),
+        )
+        finalize_findings = _finalized_findings(
+            active_rules, rel_paths, files, reports, finalize_context
+        )
+        cache.store_finalize(
+            {
+                "vector": vector,
+                "findings": [
+                    finding.to_dict() for finding in finalize_findings
+                ],
+                "state": finalize_context.new_state,
+            }
+        )
+        counters.add("lint.finalize_runs", 1)
+    cache.save()
+
+    findings.extend(finalize_findings)
     findings.sort(key=lambda finding: finding.sort_key)
 
     baseline = None
@@ -348,17 +399,19 @@ def _finalized_findings(
     rel_paths: Sequence[str],
     files: Sequence[str],
     reports: Dict[str, dict],
+    context: Optional[FinalizeContext] = None,
 ) -> List[Finding]:
     """Cross-file findings, with inline suppressions re-applied."""
     abs_by_rel = dict(zip(rel_paths, files))
     out: List[Finding] = []
     for rule in active_rules:
+        facts_key = rule.facts_key or rule.rule_id
         facts_by_file = {
-            rel_path: reports[rel_path]["facts"].get(rule.rule_id, [])
+            rel_path: reports[rel_path]["facts"].get(facts_key, [])
             for rel_path in rel_paths
             if rel_path in reports
         }
-        for finding in rule.finalize(facts_by_file):
+        for finding in rule.finalize(facts_by_file, context=context):
             abs_path = abs_by_rel.get(finding.file)
             if abs_path is not None:
                 try:

@@ -1,4 +1,4 @@
-"""The codebase-specific rules (R1–R7).
+"""The codebase-specific rules (R1–R10).
 
 Each rule machine-checks one of the cross-cutting laws PRs 1–4
 introduced:
@@ -29,10 +29,24 @@ R6    registry-completeness    every codec encoder has a decoder (and vice
 R7    stage-name-discipline    fault-plan stage names must match a
                                ``StageTimer`` / ``stage_scope`` label defined
                                somewhere in the linted tree
+R8    determinism-taint        nondeterminism sources must not reach codec /
+                               ``to_bytes`` / render sinks through *any* call
+                               path (interprocedural; ``sorted()`` sanitizes
+                               order taint)
+R9    shared-state-mutation    tasks handed to executor fan-out must not
+                               mutate driver-side shared objects (the static
+                               analogue of a race detector)
+R10   monoid-protocol          ``DiscoveryState``/``Sketch`` implementers
+                               cover the full monoid+codec surface; paired
+                               codec functions agree on arity
 ====  =======================  ==================================================
 
 R1–R6 are per-file; R7 contributes per-file *facts* (labels defined,
 stages referenced) and reconciles them in :meth:`Rule.finalize`.
+R8–R10 share one per-file extraction (symbol skeleton + taint facts)
+and resolve everything on the driver-side project model built from the
+call graph — see :mod:`repro.analysis.callgraph`,
+:mod:`repro.analysis.taint`, and :mod:`repro.analysis.summaries`.
 """
 
 from __future__ import annotations
@@ -258,23 +272,11 @@ class _DeterminismVisitor(ast.NodeVisitor):
 # R2 — picklability
 # ---------------------------------------------------------------------------
 
-#: Methods that hand their callable arguments to an executor backend.
-#: ``map_shards`` is the shard coordinator's fan-out: the callable (and
-#: its :class:`ShardTask` arguments) cross the process-pool boundary.
-FANOUT_METHODS = frozenset(
-    {
-        "map_list",
-        "map",
-        "flat_map",
-        "filter",
-        "map_partitions",
-        "map_shards",
-        "aggregate",
-        "tree_aggregate",
-        "tree_aggregate_serialized",
-        "with_retry",
-    }
-)
+# Methods that hand their callable arguments to an executor backend
+# (``map_shards`` is the shard coordinator's fan-out).  One definition,
+# shared with the interprocedural engine: R2 checks the *shape* of the
+# task expression, R9 checks what the task *does*.
+from repro.analysis.taint import FANOUT_METHODS  # noqa: E402
 
 
 @register_rule
@@ -808,7 +810,7 @@ class StageNameDisciplineRule(Rule):
         for stage in _fault_spec_stages(spec_text):
             facts.append({"kind": "ref", "stage": stage, "line": node.lineno})
 
-    def finalize(self, facts_by_file):
+    def finalize(self, facts_by_file, context=None):
         defined: Set[str] = set()
         references: List[Tuple[str, str, int]] = []
         for path, facts in facts_by_file.items():
@@ -843,3 +845,482 @@ class StageNameDisciplineRule(Rule):
                     )
                 )
         return findings
+
+
+# ---------------------------------------------------------------------------
+# R8/R9/R10 — the interprocedural rules
+# ---------------------------------------------------------------------------
+#
+# All three share one per-file extraction (symbol skeleton + taint
+# facts) stored under the common facts key "XP", and one driver-side
+# project model (symbol table → call graph → SCC-ordered summary
+# fixpoint) built at most once per finalize pass and memoized on the
+# FinalizeContext.
+
+from repro.analysis.summaries import (  # noqa: E402
+    build_project_model,
+    extract_interproc_facts,
+    resolve_taint,
+)
+from repro.analysis.taint import ORDER_KINDS  # noqa: E402
+from repro.engine.instrument import counters  # noqa: E402
+
+#: Shared facts key for the interprocedural payload.
+_XP_FACTS_KEY = "XP"
+#: Finalize-state key for the summary store (digests + summaries + deps).
+_XP_STATE_KEY = "XP"
+
+
+def _xp_payload(ctx: RuleContext) -> dict:
+    """The per-file interprocedural payload, computed once per file
+    even when several XP rules are active (memoized on the context)."""
+    payload = ctx.__dict__.get("_xp_payload")
+    if payload is None:
+        payload = extract_interproc_facts(ctx.path, ctx.tree)
+        ctx.__dict__["_xp_payload"] = payload
+    return payload
+
+
+def _short_id(function_id: str) -> str:
+    return function_id.partition("::")[2] or function_id
+
+
+def _is_method_id(function_id: str) -> bool:
+    return "." in function_id.partition("::")[2]
+
+
+def _prev_dep_closure(
+    changed: Set[str], prev_deps: Dict[str, List[str]]
+) -> Set[str]:
+    """Files that depended (last run) on any changed file, transitively.
+
+    The current call graph cannot see edges into functions a change
+    *removed*; the previous run's file-dependency map can.
+    """
+    reverse: Dict[str, List[str]] = {}
+    for path, deps in prev_deps.items():
+        for dep in deps:
+            reverse.setdefault(dep, []).append(path)
+    seen = set(changed)
+    queue = list(changed)
+    while queue:
+        for caller in reverse.get(queue.pop(), ()):
+            if caller not in seen:
+                seen.add(caller)
+                queue.append(caller)
+    return seen
+
+
+def _file_deps(model) -> Dict[str, List[str]]:
+    """rel path → sorted rel paths of files its functions call into."""
+    deps: Dict[str, Set[str]] = {}
+    for caller, callees in model.graph.edges.items():
+        caller_file = model.file_of.get(caller)
+        if caller_file is None:
+            continue
+        bucket = deps.setdefault(caller_file, set())
+        for callee in callees:
+            callee_file = model.file_of.get(callee)
+            if callee_file is not None and callee_file != caller_file:
+                bucket.add(callee_file)
+    return {path: sorted(files) for path, files in deps.items() if files}
+
+
+def _project_model(facts_by_file, context):
+    """Build (or reuse) the project model for one finalize pass.
+
+    With a :class:`~repro.analysis.base.FinalizeContext`, summaries are
+    incremental: files whose digests match the previous finalize state
+    reuse their resolved summaries, and only the changed files plus
+    their transitive callers re-resolve (counted in
+    ``lint.summary_files_recomputed``).
+    """
+    if context is not None and "xp_model" in context.shared:
+        return context.shared["xp_model"]
+
+    payloads = {
+        path: facts[0]
+        for path, facts in facts_by_file.items()
+        if facts and isinstance(facts[0], dict) and "symbols" in facts[0]
+    }
+
+    previous_summaries = None
+    changed = None
+    executor = None
+    if context is not None:
+        executor = context.executor
+        previous = context.previous.get(_XP_STATE_KEY) or {}
+        prev_digests = previous.get("digests") or {}
+        current_digests = {
+            path: context.digests.get(path, "") for path in payloads
+        }
+        if prev_digests and set(prev_digests) == set(current_digests):
+            changed_set = {
+                path
+                for path, digest in current_digests.items()
+                if digest != prev_digests.get(path) or not digest
+            }
+            changed_set = _prev_dep_closure(
+                changed_set, previous.get("deps") or {}
+            )
+            changed = sorted(changed_set)
+            previous_summaries = previous.get("summaries") or {}
+
+    model = build_project_model(
+        payloads,
+        executor=executor,
+        previous_summaries=previous_summaries,
+        changed_files=changed,
+    )
+    counters.add("lint.summary_files_recomputed", len(model.dirty_files))
+    counters.add(
+        "lint.summary_functions_recomputed",
+        sum(
+            1
+            for path in model.file_of.values()
+            if path in model.dirty_files
+        ),
+    )
+    if context is not None:
+        context.new_state[_XP_STATE_KEY] = {
+            "digests": {
+                path: context.digests.get(path, "") for path in payloads
+            },
+            "summaries": model.summaries_by_file(),
+            "deps": _file_deps(model),
+        }
+        context.shared["xp_model"] = model
+    return model
+
+
+class _InterprocRule(Rule):
+    """Base for the engine-backed rules: shared extraction, no
+    per-file findings (everything resolves in finalize)."""
+
+    facts_key = _XP_FACTS_KEY
+
+    def check(self, ctx: RuleContext):
+        return [], [_xp_payload(ctx)]
+
+
+@register_rule
+class DeterminismTaintRule(_InterprocRule):
+    rule_id = "R8"
+    name = "determinism-taint"
+    severity = Severity.ERROR
+    law = (
+        "nondeterminism sources (hash-ordered sets, completion order, "
+        "urandom/time, unstable sort keys) never reach codec/to_bytes/"
+        "render sinks through any call path; sorted() sanitizes order"
+    )
+
+    def finalize(self, facts_by_file, context=None):
+        model = _project_model(facts_by_file, context)
+        previous = {}
+        if context is not None:
+            previous = (context.previous.get(self.rule_id) or {}).get(
+                "findings", {}
+            )
+        findings_by_file: Dict[str, List[dict]] = {}
+        for path in sorted(facts_by_file):
+            if path in model.dirty_files or path not in previous:
+                findings_by_file[path] = self._file_findings(path, model)
+            else:
+                findings_by_file[path] = previous[path]
+        if context is not None:
+            context.new_state[self.rule_id] = {
+                "findings": findings_by_file
+            }
+        return [
+            Finding.from_dict(payload)
+            for path in sorted(findings_by_file)
+            for payload in findings_by_file[path]
+        ]
+
+    def _file_findings(self, path: str, model) -> List[dict]:
+        env = model.env
+        out: List[dict] = []
+        seen: Set[Tuple[int, str]] = set()
+
+        def emit(line: int, column: int, message: str) -> None:
+            if (line, message) in seen:
+                return
+            seen.add((line, message))
+            out.append(
+                Finding(
+                    file=path,
+                    line=line,
+                    column=column,
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    message=message,
+                ).to_dict()
+            )
+
+        for function_id in sorted(
+            fid for fid, p in model.file_of.items() if p == path
+        ):
+            facts = model.functions[function_id]
+            qualname = _short_id(function_id)
+            for sink in facts.get("sinks", ()):
+                kinds, _ = resolve_taint(sink.get("taint"), env)
+                if sink["kind"] == "iteration":
+                    kinds = kinds & ORDER_KINDS
+                if not kinds:
+                    continue
+                emit(
+                    sink["line"],
+                    sink.get("col", 0),
+                    f"nondeterministic value ({', '.join(sorted(kinds))}) "
+                    f"reaches the {sink['detail']} {sink['kind']} sink in "
+                    f"{qualname}(); order output with sorted() or use a "
+                    "canonical collection",
+                )
+            for event in facts.get("calls", ()):
+                callee = event.get("f")
+                if callee is None:
+                    continue
+                offset = event.get("o", 0)
+                for param_str, centry in sorted(
+                    env.ps.get(callee, {}).items()
+                ):
+                    arg = event.get("a", {}).get(
+                        str(int(param_str) - offset)
+                    )
+                    if arg is None:
+                        continue
+                    kinds, _ = resolve_taint(arg, env)
+                    if centry.get("z"):
+                        kinds = kinds - ORDER_KINDS
+                    if centry["kind"] == "iteration":
+                        kinds = kinds & ORDER_KINDS
+                    if not kinds:
+                        continue
+                    chain = " -> ".join(
+                        _short_id(link[0]) for link in centry["chain"]
+                    )
+                    emit(
+                        event["line"],
+                        0,
+                        "nondeterministic value "
+                        f"({', '.join(sorted(kinds))}) passed from "
+                        f"{qualname}() reaches the {centry['detail']} "
+                        f"{centry['kind']} sink via {chain}; order it "
+                        "with sorted() before handing it to the codec",
+                    )
+        return out
+
+
+@register_rule
+class SharedStateMutationRule(_InterprocRule):
+    rule_id = "R9"
+    name = "shared-state-mutation"
+    severity = Severity.ERROR
+    law = (
+        "tasks handed to executor fan-out never mutate driver-side "
+        "shared objects (captured instances, partial-bound arguments, "
+        "module globals) except through the counters API"
+    )
+
+    def finalize(self, facts_by_file, context=None):
+        model = _project_model(facts_by_file, context)
+        env = model.env
+        findings: List[Finding] = []
+        for function_id in sorted(model.functions):
+            facts = model.functions[function_id]
+            path = model.file_of[function_id]
+            for fanout in facts.get("fanouts", ()):
+                for task in fanout.get("tasks", ()):
+                    callee = task.get("f")
+                    if callee is None:
+                        continue
+                    mutations = env.mut.get(callee)
+                    if not mutations:
+                        continue
+                    reasons = self._shared_mutations(callee, task, mutations)
+                    if not reasons:
+                        continue
+                    findings.append(
+                        Finding(
+                            file=path,
+                            line=fanout["line"],
+                            column=0,
+                            rule_id=self.rule_id,
+                            severity=self.severity,
+                            message=(
+                                f"task {_short_id(callee)}() handed to "
+                                f"{fanout['method']}() mutates "
+                                f"{'; '.join(reasons)} — parallel workers "
+                                "race on driver-side state; return values "
+                                "or use the counters API"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _shared_mutations(
+        callee: str, task: dict, mutations: dict
+    ) -> List[str]:
+        reasons: List[str] = []
+        mutated_globals = mutations.get("g", ())
+        if mutated_globals:
+            names = ", ".join(sorted(mutated_globals))
+            reasons.append(f"module global(s) {names}")
+        mutated_params = set(mutations.get("p", ()))
+        bound = task.get("bound")
+        if bound is not None:
+            # partial(f, a, b): bound argument k is callee parameter k,
+            # shared by every invocation the executor makes.
+            for index, root in enumerate(bound):
+                if index not in mutated_params:
+                    continue
+                if root.get("k") == "literal":
+                    continue
+                if root.get("k") == "global":
+                    what = f"partial-bound module global {root['n']!r}"
+                else:
+                    what = f"partial-bound argument {index}"
+                reasons.append(what)
+        elif _is_method_id(callee) and 0 in mutated_params:
+            reasons.append("shared instance state (self)")
+        return reasons
+
+
+#: The serialization-monoid surface every implementer must cover.
+_PROTOCOL_SURFACE = ("empty", "absorb", "merge", "to_bytes", "from_bytes")
+#: Base-class names that put a class under the protocol law.
+_PROTOCOL_ROOTS = frozenset({"DiscoveryState", "Sketch"})
+#: (writer prefix, reader prefix, expected writer−reader arity delta):
+#: ``write_x(enc, value)`` pairs with ``read_x(dec)``; ``dumps_x(value)``
+#: pairs with ``loads_x(data)``.
+_SIGNATURE_PAIRS = (
+    ("dumps_", "loads_", 0),
+    ("write_", "read_", 1),
+    ("_write_", "_read_", 1),
+)
+
+
+@register_rule
+class MonoidProtocolRule(_InterprocRule):
+    rule_id = "R10"
+    name = "monoid-protocol"
+    severity = Severity.ERROR
+    law = (
+        "every DiscoveryState/Sketch implementer covers the full "
+        "empty/absorb/merge/to_bytes/from_bytes surface with concrete "
+        "methods, and paired codec functions agree on arity"
+    )
+
+    def finalize(self, facts_by_file, context=None):
+        model = _project_model(facts_by_file, context)
+        symbols = model.symbols
+        findings: List[Finding] = []
+        for module in sorted(symbols.modules):
+            facts = symbols.modules[module]
+            path = symbols.module_paths[module]
+            self._check_protocol_surface(
+                symbols, module, facts, path, findings
+            )
+            if module.rsplit(".", 1)[-1] in _CODEC_MODULES:
+                self._check_signatures(facts, path, findings)
+        return findings
+
+    def _check_protocol_surface(
+        self, symbols, module, facts, path, findings
+    ) -> None:
+        for class_name in sorted(facts.get("classes", {})):
+            if class_name in _PROTOCOL_ROOTS:
+                continue  # the protocol bases themselves define the stubs
+            owner = f"{module}::{class_name}"
+            chain = symbols.mro(owner)
+            if not any(
+                link.partition("::")[2] in _PROTOCOL_ROOTS
+                for link in chain[1:]
+            ):
+                continue
+            if symbols.subclasses(owner):
+                # Intermediate bases may stay abstract; the law binds
+                # the leaves that get instantiated.
+                continue
+            klass = facts["classes"][class_name]
+            for method in _PROTOCOL_SURFACE:
+                status = self._surface_status(symbols, chain, method)
+                if status == "concrete":
+                    continue
+                how = (
+                    "defines no"
+                    if status is None
+                    else "inherits only an abstract stub for"
+                )
+                findings.append(
+                    Finding(
+                        file=path,
+                        line=klass.get("line", 1),
+                        column=0,
+                        rule_id=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"{class_name} implements the "
+                            "DiscoveryState/Sketch protocol but "
+                            f"{how} {method}(); the full "
+                            "empty/absorb/merge/to_bytes/from_bytes "
+                            "surface is required for checkpoint, "
+                            "shard-merge, and resume"
+                        ),
+                    )
+                )
+
+    @staticmethod
+    def _surface_status(symbols, chain, method: str):
+        for link in chain:
+            module, _, class_name = link.partition("::")
+            owner_facts = symbols.modules.get(module)
+            if owner_facts is None:
+                continue
+            methods = owner_facts.get("classes", {}).get(class_name, {}).get(
+                "methods", {}
+            )
+            if method in methods:
+                return methods[method]
+        return None
+
+    def _check_signatures(self, facts, path, findings) -> None:
+        functions = facts.get("functions", {})
+        if not isinstance(functions, dict):
+            return
+        for name in sorted(functions):
+            for writer_prefix, reader_prefix, delta in _SIGNATURE_PAIRS:
+                if not name.startswith(writer_prefix):
+                    continue
+                counterpart = reader_prefix + name[len(writer_prefix):]
+                writer = functions[name]
+                reader = functions.get(counterpart)
+                # Existence of the counterpart is R6's law; R10 only
+                # judges pairs that do exist.
+                if reader is None:
+                    break
+                if writer.get("vararg") or reader.get("vararg"):
+                    break
+                writer_arity = writer.get("arity")
+                reader_arity = reader.get("arity")
+                if writer_arity is None or reader_arity is None:
+                    break
+                if reader_arity != writer_arity - delta:
+                    findings.append(
+                        Finding(
+                            file=path,
+                            line=writer.get("line", 1),
+                            column=0,
+                            rule_id=self.rule_id,
+                            severity=self.severity,
+                            message=(
+                                f"codec pair {name}()/{counterpart}() "
+                                "disagree on arity: a reader takes "
+                                "exactly the writer's parameters minus "
+                                "the value being written, so the pair "
+                                "cannot round-trip"
+                            ),
+                        )
+                    )
+                break

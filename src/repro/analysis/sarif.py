@@ -1,0 +1,260 @@
+"""SARIF 2.1.0 emission (and in-tree validation) for lint results.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/>`_ is the
+interchange format CI systems ingest to annotate pull requests.  The
+emitter maps the analyzer's model onto it directly:
+
+* every registered rule becomes a ``reportingDescriptor`` under
+  ``tool.driver.rules`` (id, short description, the law as full
+  description);
+* every :class:`~repro.analysis.findings.Finding` becomes a ``result``
+  with one physical location and the finding's stable fingerprint
+  under ``partialFingerprints`` — the *same* fingerprint the JSON
+  report and the baseline use, so the two outputs cross-reference;
+* baselined findings carry ``suppressions`` entries (kind
+  ``external``) instead of being dropped, which is how SARIF models a
+  checked-in waiver.
+
+:func:`validate_sarif` is a structural validator for the subset of the
+2.1.0 schema the emitter produces (the full JSON schema is ~250 KB and
+the toolchain has no network access, so the load-bearing constraints
+are checked directly: required properties, type shapes, level/kind
+enums, 1-based region coordinates).  CI runs it over the artifact it
+uploads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+#: The schema URI stamped into emitted logs.
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+#: Severity → SARIF result level.
+_LEVELS: Dict[str, str] = {
+    "error": "error",
+    "warning": "warning",
+    "info": "note",
+}
+
+_VALID_LEVELS = frozenset({"none", "note", "warning", "error"})
+
+
+def severity_level(severity: Severity) -> str:
+    return _LEVELS.get(severity.value, "warning")
+
+
+def sarif_report(
+    findings: Sequence[Finding],
+    rules: Sequence[object] = (),
+    *,
+    tool_version: Optional[str] = None,
+) -> dict:
+    """Findings → a SARIF 2.1.0 log (a plain JSON-serializable dict)."""
+    descriptors = []
+    for rule in rules:
+        descriptor = {
+            "id": rule.rule_id,
+            "name": getattr(rule, "name", "") or rule.rule_id,
+        }
+        law = getattr(rule, "law", "")
+        if law:
+            descriptor["shortDescription"] = {"text": law}
+        descriptors.append(descriptor)
+
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule_id,
+            "level": severity_level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.file},
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": max(1, finding.column + 1),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "reproLint/v1": finding.fingerprint,
+            },
+        }
+        if finding.baselined:
+            result["suppressions"] = [{"kind": "external"}]
+        results.append(result)
+
+    driver: dict = {"name": "repro-lint", "rules": descriptors}
+    if tool_version is not None:
+        driver["version"] = tool_version
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def result_fingerprints(report: dict) -> List[str]:
+    """Every ``reproLint/v1`` fingerprint in a SARIF log, in order."""
+    out = []
+    for run in report.get("runs", ()):
+        for result in run.get("results", ()):
+            fingerprint = result.get("partialFingerprints", {}).get(
+                "reproLint/v1"
+            )
+            if fingerprint is not None:
+                out.append(fingerprint)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+
+def validate_sarif(report: object) -> List[str]:
+    """Structural problems in a SARIF 2.1.0 log ([] when valid)."""
+    problems: List[str] = []
+
+    def err(path: str, message: str) -> None:
+        problems.append(f"{path}: {message}")
+
+    if not isinstance(report, dict):
+        return ["$: log must be a JSON object"]
+    if report.get("version") != SARIF_VERSION:
+        err("$.version", f"must be {SARIF_VERSION!r}")
+    runs = report.get("runs")
+    if not isinstance(runs, list) or not runs:
+        err("$.runs", "must be a non-empty array")
+        return problems
+    for run_index, run in enumerate(runs):
+        base = f"$.runs[{run_index}]"
+        if not isinstance(run, dict):
+            err(base, "must be an object")
+            continue
+        tool = run.get("tool")
+        if not isinstance(tool, dict):
+            err(f"{base}.tool", "is required and must be an object")
+        else:
+            driver = tool.get("driver")
+            if not isinstance(driver, dict):
+                err(
+                    f"{base}.tool.driver",
+                    "is required and must be an object",
+                )
+            else:
+                if not isinstance(driver.get("name"), str) or not driver.get(
+                    "name"
+                ):
+                    err(
+                        f"{base}.tool.driver.name",
+                        "is required and must be a non-empty string",
+                    )
+                rule_ids = set()
+                for rule_index, rule in enumerate(driver.get("rules", ())):
+                    rule_base = f"{base}.tool.driver.rules[{rule_index}]"
+                    if not isinstance(rule, dict) or not isinstance(
+                        rule.get("id"), str
+                    ):
+                        err(rule_base, "must be an object with a string id")
+                        continue
+                    if rule["id"] in rule_ids:
+                        err(rule_base, f"duplicate rule id {rule['id']!r}")
+                    rule_ids.add(rule["id"])
+        results = run.get("results")
+        if results is None:
+            continue
+        if not isinstance(results, list):
+            err(f"{base}.results", "must be an array")
+            continue
+        for result_index, result in enumerate(results):
+            _validate_result(
+                result, f"{base}.results[{result_index}]", err
+            )
+    return problems
+
+
+def _validate_result(result: object, base: str, err) -> None:
+    if not isinstance(result, dict):
+        err(base, "must be an object")
+        return
+    message = result.get("message")
+    if not isinstance(message, dict) or not isinstance(
+        message.get("text"), str
+    ):
+        err(f"{base}.message", "is required and must carry a text string")
+    level = result.get("level")
+    if level is not None and level not in _VALID_LEVELS:
+        err(f"{base}.level", f"must be one of {sorted(_VALID_LEVELS)}")
+    rule_id = result.get("ruleId")
+    if rule_id is not None and not isinstance(rule_id, str):
+        err(f"{base}.ruleId", "must be a string")
+    for loc_index, location in enumerate(result.get("locations", ())):
+        loc_base = f"{base}.locations[{loc_index}]"
+        if not isinstance(location, dict):
+            err(loc_base, "must be an object")
+            continue
+        physical = location.get("physicalLocation")
+        if physical is None:
+            continue
+        if not isinstance(physical, dict):
+            err(f"{loc_base}.physicalLocation", "must be an object")
+            continue
+        artifact = physical.get("artifactLocation")
+        if artifact is not None and (
+            not isinstance(artifact, dict)
+            or not isinstance(artifact.get("uri"), str)
+        ):
+            err(
+                f"{loc_base}.physicalLocation.artifactLocation",
+                "must be an object with a string uri",
+            )
+        region = physical.get("region")
+        if region is None:
+            continue
+        if not isinstance(region, dict):
+            err(f"{loc_base}.physicalLocation.region", "must be an object")
+            continue
+        for field in ("startLine", "startColumn", "endLine", "endColumn"):
+            value = region.get(field)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool):
+                err(
+                    f"{loc_base}.physicalLocation.region.{field}",
+                    "must be an integer",
+                )
+            elif value < 1:
+                err(
+                    f"{loc_base}.physicalLocation.region.{field}",
+                    "must be >= 1 (SARIF regions are 1-based)",
+                )
+    suppressions = result.get("suppressions")
+    if suppressions is None:
+        return
+    if not isinstance(suppressions, list):
+        err(f"{base}.suppressions", "must be an array")
+        return
+    for sup_index, suppression in enumerate(suppressions):
+        if not isinstance(suppression, dict) or suppression.get(
+            "kind"
+        ) not in ("inSource", "external"):
+            err(
+                f"{base}.suppressions[{sup_index}]",
+                "must be an object with kind inSource|external",
+            )

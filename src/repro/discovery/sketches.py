@@ -218,6 +218,11 @@ class MinMaxSketch(Sketch):
         if isinstance(value, float):
             if value != value:
                 return
+            if value == 0.0:
+                # -0.0 == 0.0 but encodes with its sign bit; without a
+                # canonical zero, min()/max() ties keep whichever sign
+                # arrived first and merge stops being byte-commutative.
+                value = 0.0
         elif not -_SVARINT_MAX <= value <= _SVARINT_MAX:
             value = float(value)
         if self.count == 0:

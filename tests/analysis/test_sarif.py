@@ -1,0 +1,141 @@
+"""SARIF 2.1.0 emission: shape, validation, fingerprint round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    render_json,
+    result_fingerprints,
+    run_lint,
+    sarif_report,
+    validate_sarif,
+)
+
+SWALLOW = (
+    "def probe(fn):\n"
+    "    try:\n"
+    "        fn()\n"
+    "    except Exception:\n"
+    "        pass\n"
+)
+
+
+@pytest.fixture
+def result(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(SWALLOW)
+    (pkg / "worse.py").write_text(SWALLOW + "\n\nX = {1, 2}\n")
+    return run_lint([str(pkg)], root=str(tmp_path), cache_path=None)
+
+
+class TestEmission:
+    def test_log_validates_and_round_trips_json(self, result):
+        report = sarif_report(result.findings, result.rules, tool_version="2")
+        assert validate_sarif(report) == []
+        # json round trip: the log is plain data.
+        restored = json.loads(json.dumps(report))
+        assert validate_sarif(restored) == []
+        assert restored["version"] == "2.1.0"
+        driver = restored["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {rule["id"] for rule in driver["rules"]} >= {"R1", "R8"}
+
+    def test_fingerprints_match_the_json_report(self, result):
+        # Acceptance: the SARIF artifact and the JSON report identify
+        # findings by the same stable fingerprints.
+        report = sarif_report(result.findings, result.rules)
+        json_report = json.loads(render_json(result))
+        assert result_fingerprints(report) == [
+            finding["fingerprint"] for finding in json_report["findings"]
+        ]
+        assert len(result_fingerprints(report)) == len(result.findings) > 0
+
+    def test_locations_are_one_based(self, result):
+        report = sarif_report(result.findings, result.rules)
+        for entry in report["runs"][0]["results"]:
+            region = entry["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_baselined_findings_become_suppressions(self, result, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(result.findings).save(str(baseline_path))
+        rerun = run_lint(
+            [str(tmp_path / "pkg")],
+            root=str(tmp_path),
+            cache_path=None,
+            baseline_path=str(baseline_path),
+        )
+        report = sarif_report(rerun.findings, rerun.rules)
+        assert validate_sarif(report) == []
+        entries = report["runs"][0]["results"]
+        assert entries, "expected baselined findings to still be reported"
+        assert all(
+            entry["suppressions"] == [{"kind": "external"}]
+            for entry in entries
+        )
+
+
+class TestValidator:
+    def base(self):
+        return {
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {"driver": {"name": "repro-lint", "rules": []}},
+                    "results": [],
+                }
+            ],
+        }
+
+    def test_accepts_minimal_log(self):
+        assert validate_sarif(self.base()) == []
+
+    def test_rejects_non_object(self):
+        assert validate_sarif([]) == ["$: log must be a JSON object"]
+
+    def test_rejects_wrong_version_and_empty_runs(self):
+        problems = validate_sarif({"version": "2.0.0", "runs": []})
+        assert any("$.version" in p for p in problems)
+        assert any("$.runs" in p for p in problems)
+
+    def test_rejects_missing_driver_name(self):
+        log = self.base()
+        del log["runs"][0]["tool"]["driver"]["name"]
+        assert any(
+            "tool.driver.name" in p for p in validate_sarif(log)
+        )
+
+    def test_rejects_bad_result_shapes(self):
+        log = self.base()
+        log["runs"][0]["results"] = [
+            {"level": "fatal"},
+            {
+                "message": {"text": "ok"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": "a.py"},
+                            "region": {"startLine": 0},
+                        }
+                    }
+                ],
+            },
+            {"message": {"text": "ok"}, "suppressions": [{"kind": "maybe"}]},
+        ]
+        problems = validate_sarif(log)
+        assert any("results[0].message" in p for p in problems)
+        assert any("results[0].level" in p for p in problems)
+        assert any("startLine" in p and "1-based" in p for p in problems)
+        assert any("suppressions[0]" in p for p in problems)
+
+    def test_rejects_duplicate_rule_ids(self):
+        log = self.base()
+        log["runs"][0]["tool"]["driver"]["rules"] = [
+            {"id": "R1"},
+            {"id": "R1"},
+        ]
+        assert any("duplicate" in p for p in validate_sarif(log))
